@@ -1,0 +1,282 @@
+package parparaw
+
+// This file is the benchmark harness of deliverable (d): one bench per
+// table/figure of the paper's evaluation (§5), plus ablation benches for
+// the design choices DESIGN.md calls out. Wall-clock benchmark numbers
+// on a few-core host cannot reproduce the paper's absolute GPU rates;
+// the *shapes* (which configuration wins, where curves bend) are the
+// reproduction target. cmd/experiments regenerates the figures with
+// modelled many-core timing; these benches keep the same sweeps
+// measurable under `go test -bench`.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/dfa"
+	"repro/internal/scan"
+	"repro/internal/statevec"
+	"repro/internal/workload"
+)
+
+// benchSize keeps a full -bench=. run tractable on small hosts.
+const benchSize = 1 << 20
+
+var benchSpecs = []workload.Spec{workload.Yelp(), workload.Taxi()}
+
+func benchParse(b *testing.B, spec workload.Spec, opts core.Options) {
+	input := spec.Generate(benchSize, 42)
+	b.SetBytes(int64(len(input)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Parse(input, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9ChunkSize sweeps the chunk size (Figure 9): tiny chunks
+// must degrade throughput; the curve flattens for reasonable sizes.
+func BenchmarkFig9ChunkSize(b *testing.B) {
+	for _, spec := range benchSpecs {
+		for _, chunk := range []int{4, 8, 16, 31, 64} {
+			b.Run(fmt.Sprintf("%s/chunk=%d", spec.Name, chunk), func(b *testing.B) {
+				benchParse(b, spec, core.Options{Schema: spec.Schema, ChunkSize: chunk})
+			})
+		}
+	}
+}
+
+// BenchmarkFig10InputSize sweeps the input size (Figure 10): the rate
+// grows with input size as fixed per-launch overheads amortise.
+func BenchmarkFig10InputSize(b *testing.B) {
+	for _, spec := range benchSpecs {
+		for _, size := range []int{64 << 10, 256 << 10, 1 << 20, 4 << 20} {
+			b.Run(fmt.Sprintf("%s/size=%dKB", spec.Name, size>>10), func(b *testing.B) {
+				input := spec.Generate(size, 42)
+				b.SetBytes(int64(len(input)))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := core.Parse(input, core.Options{Schema: spec.Schema}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig11TaggingModes compares the three tagging representations
+// (Figure 11 left): record-tagged moves the most metadata and must be
+// the slowest.
+func BenchmarkFig11TaggingModes(b *testing.B) {
+	for _, spec := range benchSpecs {
+		for _, mode := range []TaggingMode{RecordTagged, InlineTerminated, VectorDelimited} {
+			b.Run(fmt.Sprintf("%s/%v", spec.Name, mode), func(b *testing.B) {
+				input := spec.Generate(benchSize, 42)
+				b.SetBytes(int64(len(input)))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := Parse(input, Options{Mode: mode}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig11Skewed parses inputs with one record of ~40% of the
+// input (Figure 11 right): throughput must not collapse.
+func BenchmarkFig11Skewed(b *testing.B) {
+	for _, spec := range benchSpecs {
+		skew := workload.Skewed(spec, benchSize*2/5)
+		b.Run(skew.Name, func(b *testing.B) {
+			input := skew.Generate(benchSize, 42)
+			b.SetBytes(int64(len(input)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Parse(input, core.Options{Schema: spec.Schema}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig12PartitionSize streams the input end-to-end at different
+// partition sizes (Figure 12). The simulated bus is time-scaled so the
+// bench measures the pipeline mechanics, not sleeps.
+func BenchmarkFig12PartitionSize(b *testing.B) {
+	spec := benchSpecs[0]
+	input := spec.Generate(benchSize, 42)
+	for _, part := range []int{32 << 10, 128 << 10, 512 << 10} {
+		b.Run(fmt.Sprintf("partition=%dKB", part>>10), func(b *testing.B) {
+			b.SetBytes(int64(len(input)))
+			bus := NewBus(BusConfig{TimeScale: 1e6})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Stream(input, StreamOptions{PartitionSize: part, Bus: bus}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig13Comparison runs every loader on both datasets (Figure
+// 13). Loaders whose strategy cannot handle a dataset (Instant Loading
+// and naive splitting on yelp) skip, mirroring the '×' in the figure.
+func BenchmarkFig13Comparison(b *testing.B) {
+	// Instant Loading gets a fixed worker count: with a single worker
+	// there are no chunk boundaries to mis-synchronise, which would hide
+	// its quoted-input failure mode on single-core hosts.
+	loaders := []baseline.Loader{
+		baseline.NewSequential(),
+		baseline.NewNaiveSplit(),
+		baseline.NewInstantLoading(8, false),
+		baseline.NewInstantLoading(8, true),
+		baseline.NewQuoteCount(nil),
+	}
+	for _, spec := range benchSpecs {
+		input := spec.Generate(benchSize, 42)
+		b.Run(fmt.Sprintf("%s/parparaw", spec.Name), func(b *testing.B) {
+			b.SetBytes(int64(len(input)))
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Parse(input, core.Options{Schema: spec.Schema}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		for _, l := range loaders {
+			b.Run(fmt.Sprintf("%s/%s", spec.Name, l.Name()), func(b *testing.B) {
+				if _, err := l.Load(input, spec.Schema); err != nil {
+					b.Skipf("unsupported: %v", err)
+				}
+				b.SetBytes(int64(len(input)))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := l.Load(input, spec.Schema); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkScalingWorkers sweeps real host workers (§6 scalability; on
+// a single-core host this is necessarily flat — cmd/experiments
+// -exp scaling reports the modelled many-core sweep).
+func BenchmarkScalingWorkers(b *testing.B) {
+	spec := benchSpecs[0]
+	input := spec.Generate(benchSize, 42)
+	maxW := device.Default().Workers()
+	for w := 1; w <= maxW; w *= 2 {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			d := device.New(device.Config{Workers: w})
+			b.SetBytes(int64(len(input)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Parse(input, core.Options{Schema: spec.Schema, Device: d}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMatcher compares the SWAR matcher against the
+// 256-entry lookup table on the full pipeline (§4.5 ablation).
+func BenchmarkAblationMatcher(b *testing.B) {
+	spec := benchSpecs[1] // taxi: parse-heavy
+	for _, strat := range []dfa.MatchStrategy{dfa.MatchSWAR, dfa.MatchTable} {
+		name := "swar"
+		if strat == dfa.MatchTable {
+			name = "table"
+		}
+		b.Run(name, func(b *testing.B) {
+			benchParse(b, spec, core.Options{Schema: spec.Schema, MatchStrategy: strat})
+		})
+	}
+}
+
+// BenchmarkAblationStateVector compares MFIRA-packed state vectors
+// against plain slices on the multi-DFA transition loop (§4.5).
+func BenchmarkAblationStateVector(b *testing.B) {
+	m := dfa.RFC4180()
+	states := m.NumStates()
+	row := make([]uint8, states)
+	for i := range row {
+		row[i] = uint8((i + 1) % states)
+	}
+	b.Run("mfira", func(b *testing.B) {
+		p := statevec.NewPacked(states)
+		for i := 0; i < b.N; i++ {
+			p.Transition(func(s uint8) uint8 { return row[s] })
+		}
+	})
+	b.Run("slice", func(b *testing.B) {
+		v := statevec.Identity(states)
+		for i := 0; i < b.N; i++ {
+			for j := range v {
+				v[j] = row[v[j]]
+			}
+		}
+	})
+}
+
+// BenchmarkAblationScan compares the single-pass decoupled-look-back
+// scan, the two-pass blocked scan, and the sequential reference (§2).
+func BenchmarkAblationScan(b *testing.B) {
+	const n = 1 << 20
+	src := make([]int64, n)
+	for i := range src {
+		src[i] = int64(i % 7)
+	}
+	dst := make([]int64, n)
+	d := device.Default()
+	b.Run("single-pass", func(b *testing.B) {
+		b.SetBytes(n * 8)
+		for i := 0; i < b.N; i++ {
+			scan.SinglePass(d, "bench", scan.Sum[int64](), src, dst, false)
+		}
+	})
+	b.Run("two-pass", func(b *testing.B) {
+		b.SetBytes(n * 8)
+		for i := 0; i < b.N; i++ {
+			scan.Blocked(d, "bench", scan.Sum[int64](), src, dst, false)
+		}
+	})
+	b.Run("sequential", func(b *testing.B) {
+		b.SetBytes(n * 8)
+		for i := 0; i < b.N; i++ {
+			scan.Sequential(scan.Sum[int64](), src, dst, false)
+		}
+	})
+}
+
+// BenchmarkStateVectorScan measures the composite exclusive scan over
+// state-transition vectors — the step that makes context inference
+// parallel (§3.1, Figure 3).
+func BenchmarkStateVectorScan(b *testing.B) {
+	m := dfa.RFC4180()
+	const chunks = 1 << 16
+	input := benchSpecs[0].Generate(chunks*31, 42)
+	vectors := make([]statevec.Vector, chunks)
+	for c := 0; c < chunks; c++ {
+		lo := c * 31
+		hi := min(lo+31, len(input))
+		vectors[c] = m.ChunkVector(input[lo:hi])
+	}
+	dst := make([]statevec.Vector, chunks)
+	d := device.Default()
+	b.SetBytes(chunks * 31)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		statevec.ExclusiveScan(d, "bench", m.NumStates(), vectors, dst)
+	}
+}

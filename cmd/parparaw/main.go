@@ -1,0 +1,177 @@
+// Command parparaw parses a delimiter-separated file into columnar form
+// and prints a summary (schema, row count, per-column statistics) plus,
+// optionally, the first rows — a minimal ingest tool built on the
+// public API.
+//
+// Usage:
+//
+//	parparaw [-header] [-delim ,] [-comment '#'] [-mode tagged|inline|delimited]
+//	         [-stream] [-partition 32MB] [-head 10] [-validate] file.csv
+//
+// With no file argument, standard input is read.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	parparaw "repro"
+)
+
+func main() {
+	header := flag.Bool("header", false, "treat the first record as column names")
+	delim := flag.String("delim", ",", "field delimiter (single byte)")
+	comment := flag.String("comment", "", "line-comment symbol (single byte, optional)")
+	crlf := flag.Bool("crlf", false, "accept CRLF record delimiters")
+	mode := flag.String("mode", "tagged", "tagging mode: tagged, inline, or delimited")
+	streamFlag := flag.Bool("stream", false, "use the end-to-end streaming pipeline")
+	partition := flag.String("partition", "32MB", "streaming partition size")
+	head := flag.Int("head", 0, "print the first N rows")
+	validate := flag.Bool("validate", false, "fail on format violations")
+	chunk := flag.Int("chunk", 0, "chunk size in bytes (default 31)")
+	flag.Parse()
+
+	if err := run(*header, *delim, *comment, *crlf, *mode, *streamFlag, *partition, *head, *validate, *chunk, flag.Arg(0)); err != nil {
+		fmt.Fprintln(os.Stderr, "parparaw:", err)
+		os.Exit(1)
+	}
+}
+
+func run(header bool, delim, comment string, crlf bool, modeName string, streaming bool, partition string, head int, validate bool, chunk int, path string) error {
+	var input []byte
+	var err error
+	if path == "" || path == "-" {
+		input, err = io.ReadAll(os.Stdin)
+	} else {
+		input, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return err
+	}
+
+	var mode parparaw.TaggingMode
+	switch modeName {
+	case "tagged":
+		mode = parparaw.RecordTagged
+	case "inline":
+		mode = parparaw.InlineTerminated
+	case "delimited":
+		mode = parparaw.VectorDelimited
+	default:
+		return fmt.Errorf("unknown mode %q", modeName)
+	}
+
+	csv := parparaw.CSV{CRLF: crlf}
+	if len(delim) != 1 {
+		return fmt.Errorf("delimiter must be one byte, got %q", delim)
+	}
+	csv.Delimiter = delim[0]
+	if comment != "" {
+		if len(comment) != 1 {
+			return fmt.Errorf("comment symbol must be one byte, got %q", comment)
+		}
+		csv.Comment = comment[0]
+	}
+
+	opts := parparaw.Options{
+		Format:    parparaw.NewCSV(csv),
+		HasHeader: header,
+		Mode:      mode,
+		ChunkSize: chunk,
+		Validate:  validate,
+	}
+
+	var table *parparaw.Table
+	var stats string
+	begin := time.Now()
+	if streaming {
+		partBytes, err := parseSize(partition)
+		if err != nil {
+			return err
+		}
+		res, err := parparaw.Stream(input, parparaw.StreamOptions{Options: opts, PartitionSize: partBytes})
+		if err != nil {
+			return err
+		}
+		table, err = res.Combined()
+		if err != nil {
+			return err
+		}
+		stats = fmt.Sprintf("streamed %d partitions, max carry-over %d B, bus in/out %d/%d B",
+			res.Stats.Partitions, res.Stats.MaxCarryOver, res.Stats.InputBytes, res.Stats.OutputBytes)
+	} else {
+		res, err := parparaw.Parse(input, opts)
+		if err != nil {
+			return err
+		}
+		table = res.Table
+		stats = fmt.Sprintf("parsed %d chunks at %.1f MB/s (device time %v)",
+			res.Stats.Chunks, res.Stats.Throughput()/1e6, res.Stats.DeviceTime)
+	}
+	wall := time.Since(begin)
+
+	fmt.Printf("%s: %d rows x %d columns in %v\n", displayName(path), table.NumRows(), table.NumColumns(), wall)
+	fmt.Println(stats)
+	fmt.Println()
+	fmt.Printf("%-4s %-24s %-14s %8s\n", "#", "column", "type", "nulls")
+	for c := 0; c < table.NumColumns(); c++ {
+		col := table.Column(c)
+		fmt.Printf("%-4d %-24s %-14s %8d\n", c, col.Name(), col.Type(), col.NullCount())
+	}
+	if rejected := table.RejectedCount(); rejected > 0 {
+		fmt.Printf("\nrejected records: %d\n", rejected)
+	}
+
+	if head > 0 {
+		n := head
+		if n > table.NumRows() {
+			n = table.NumRows()
+		}
+		fmt.Println()
+		for r := 0; r < n; r++ {
+			var row []string
+			for c := 0; c < table.NumColumns(); c++ {
+				col := table.Column(c)
+				if col.IsNull(r) {
+					row = append(row, "NULL")
+				} else {
+					row = append(row, col.ValueString(r))
+				}
+			}
+			fmt.Printf("%6d | %s\n", r, strings.Join(row, " | "))
+		}
+	}
+	return nil
+}
+
+func displayName(path string) string {
+	if path == "" || path == "-" {
+		return "stdin"
+	}
+	return path
+}
+
+func parseSize(s string) (int, error) {
+	u := strings.ToUpper(strings.TrimSpace(s))
+	mult := 1
+	switch {
+	case strings.HasSuffix(u, "GB"):
+		mult, u = 1<<30, strings.TrimSuffix(u, "GB")
+	case strings.HasSuffix(u, "MB"):
+		mult, u = 1<<20, strings.TrimSuffix(u, "MB")
+	case strings.HasSuffix(u, "KB"):
+		mult, u = 1<<10, strings.TrimSuffix(u, "KB")
+	case strings.HasSuffix(u, "B"):
+		u = strings.TrimSuffix(u, "B")
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(u))
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("invalid size %q", s)
+	}
+	return n * mult, nil
+}

@@ -1,0 +1,130 @@
+package parparaw
+
+import (
+	"repro/internal/dfa"
+)
+
+// Format holds the compiled parsing rules of one delimiter-separated
+// format: a deterministic finite automaton whose transitions classify
+// every input symbol as data, field delimiter, record delimiter, or
+// other control symbol (§3.1). Formats are immutable and safe for
+// concurrent use.
+type Format struct {
+	m *dfa.Machine
+}
+
+// CSV describes an RFC 4180-style CSV dialect.
+type CSV struct {
+	// Delimiter separates fields. Defaults to ','.
+	Delimiter byte
+	// Quote encloses fields that may contain delimiters. Defaults to '"'.
+	Quote byte
+	// Comment, when non-zero, declares a line-comment symbol: records
+	// beginning with it are consumed without leaving any footprint in
+	// the output. Comments are exactly the "more involved parsing rules"
+	// that break quote-counting parsers (§1).
+	Comment byte
+	// CRLF accepts carriage returns immediately before the record
+	// delimiter.
+	CRLF bool
+}
+
+// DefaultFormat returns the RFC 4180 CSV format used when Options.Format
+// is nil: comma-delimited, double-quote enclosed, "" escapes, '\n'
+// record delimiters.
+func DefaultFormat() *Format { return &Format{m: dfa.RFC4180()} }
+
+// NewCSV compiles a CSV dialect into a Format.
+func NewCSV(opts CSV) *Format {
+	return &Format{m: dfa.NewCSV(dfa.CSVOptions{
+		FieldDelim:     opts.Delimiter,
+		Quote:          opts.Quote,
+		Comment:        opts.Comment,
+		CarriageReturn: opts.CRLF,
+	})}
+}
+
+// NumStates returns the number of DFA states, |S| — the constant factor
+// by which the multi-DFA simulation multiplies the parsing work (§3.1).
+func (f *Format) NumStates() int { return f.m.NumStates() }
+
+// Validate runs the DFA over the input sequentially and reports whether
+// it is valid under the format (§4.3 "Validating format"). Parsing
+// itself performs the same validation massively parallel when
+// Options.Validate is set; this method is the small-input convenience.
+func (f *Format) Validate(input []byte) error { return f.m.Validate(input) }
+
+// Symbol classification returned by FormatBuilder transitions.
+type Symbol = dfa.Emission
+
+// Symbol classifications for FormatBuilder.On. Data symbols become part
+// of field values; the three control classes populate the record, field,
+// and control bitmap indexes of §3.1.
+const (
+	// Data marks a symbol belonging to a field's value.
+	Data = dfa.EmitData
+	// FieldDelim marks a symbol delimiting a field.
+	FieldDelim = dfa.EmitFieldDelim | dfa.EmitControl
+	// RecordDelim marks a symbol delimiting a record.
+	RecordDelim = dfa.EmitRecordDelim | dfa.EmitControl
+	// Control marks a non-data symbol that delimits nothing (enclosing
+	// quotes, escape introducers, comment text).
+	Control = dfa.EmitControl
+)
+
+// State identifies a DFA state declared on a FormatBuilder.
+type State = dfa.State
+
+// FormatBuilder declares custom parsing rules as a DFA — the general
+// mechanism behind ParPaRaw's applicability to formats beyond CSV (web
+// logs with comment directives, multi-character rules, etc.). Declare
+// states and symbol groups, record transitions, then Build.
+//
+// Every (symbol group, state) pair must have exactly one transition;
+// Build reports any gaps.
+type FormatBuilder struct {
+	b *dfa.Builder
+}
+
+// NewFormatBuilder returns an empty builder.
+func NewFormatBuilder() *FormatBuilder { return &FormatBuilder{b: dfa.NewBuilder()} }
+
+// State declares a state. Accepting states may validly end the input;
+// midRecord states imply an unterminated trailing record at end of
+// input.
+func (fb *FormatBuilder) State(name string, accepting, midRecord bool) State {
+	opts := []dfa.StateOption{dfa.Accepting(accepting)}
+	if midRecord {
+		opts = append(opts, dfa.MidRecord())
+	}
+	return fb.b.State(name, opts...)
+}
+
+// InvalidState declares the sink state entered on invalid input.
+func (fb *FormatBuilder) InvalidState(name string) State {
+	return fb.b.State(name, dfa.Invalid())
+}
+
+// Group declares a symbol group matching exactly the byte sym.
+func (fb *FormatBuilder) Group(sym byte) int { return fb.b.Group(sym) }
+
+// CatchAll returns the group matching every undeclared byte. Valid only
+// after all Group calls.
+func (fb *FormatBuilder) CatchAll() int { return fb.b.CatchAll() }
+
+// On records that reading a symbol of group g in state from moves to
+// state to, classifying the symbol as s.
+func (fb *FormatBuilder) On(g int, from, to State, s Symbol) { fb.b.On(g, from, to, s) }
+
+// OnAll records the same transition for group g from every state that
+// does not already have one.
+func (fb *FormatBuilder) OnAll(g int, to State, s Symbol) { fb.b.OnAll(g, to, s) }
+
+// Build compiles the format with the given start state.
+func (fb *FormatBuilder) Build(start State) (*Format, error) {
+	m, err := fb.b.Build(start)
+	if err != nil {
+		return nil, err
+	}
+	return &Format{m: m}, nil
+}

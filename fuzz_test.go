@@ -1,0 +1,69 @@
+package parparaw
+
+// Native fuzz target: arbitrary bytes through the parallel pipeline
+// must (a) never panic, (b) agree with the sequential FSM oracle, and
+// (c) for valid inputs, survive a write/re-parse round trip.
+// Run with: go test -fuzz FuzzParse -fuzztime 30s
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/baseline"
+)
+
+func FuzzParse(f *testing.F) {
+	f.Add([]byte("a,b\nc,d\n"), uint8(31))
+	f.Add([]byte(`1,"x,y",2`+"\n"), uint8(7))
+	f.Add([]byte("\"q\"\"q\",\"multi\nline\"\n"), uint8(4))
+	f.Add([]byte(",,\n,,\n"), uint8(16))
+	f.Add([]byte("no trailing newline"), uint8(64))
+	f.Add([]byte("\"unterminated"), uint8(5))
+	f.Add([]byte{0xFF, 0x00, 0x7F, '\n'}, uint8(8))
+
+	f.Fuzz(func(t *testing.T, input []byte, chunkRaw uint8) {
+		chunk := int(chunkRaw%64) + 1
+		res, err := Parse(input, Options{ChunkSize: chunk})
+		if err != nil {
+			t.Fatalf("Parse failed on %q: %v", input, err)
+		}
+		seqTbl, err := baseline.NewSequential().Load(input, res.Table.Schema().internal())
+		if err != nil {
+			t.Fatalf("sequential failed on %q: %v", input, err)
+		}
+		seq := &Table{t: seqTbl}
+		if res.Table.NumRows() != seq.NumRows() {
+			t.Fatalf("rows %d vs sequential %d on %q", res.Table.NumRows(), seq.NumRows(), input)
+		}
+		a, b := tableRows(res.Table), tableRows(seq)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("row %d: %q vs sequential %q on %q", i, a[i], b[i], input)
+			}
+		}
+
+		// Round trip: rewriting the parsed table as RFC 4180 and parsing
+		// it again must reproduce the table (only when the input was
+		// valid CSV — invalid inputs lose data at the INV sink).
+		if res.Stats.InvalidInput || res.Table.NumRows() == 0 {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteCSV(&out, res.Table); err != nil {
+			t.Fatalf("WriteCSV: %v", err)
+		}
+		again, err := Parse(out.Bytes(), Options{Schema: res.Table.Schema(), HasHeader: true})
+		if err != nil {
+			t.Fatalf("re-parse failed on %q: %v", out.Bytes(), err)
+		}
+		if again.Table.NumRows() != res.Table.NumRows() {
+			t.Fatalf("round trip rows %d vs %d (via %q)", again.Table.NumRows(), res.Table.NumRows(), out.Bytes())
+		}
+		c, d := tableRows(again.Table), tableRows(res.Table)
+		for i := range c {
+			if c[i] != d[i] {
+				t.Fatalf("round trip row %d: %q vs %q (via %q)", i, c[i], d[i], out.Bytes())
+			}
+		}
+	})
+}

@@ -1,0 +1,256 @@
+// Package baseline implements the comparator systems of the paper's
+// end-to-end evaluation (§5.2, Figure 13). Each baseline is a complete
+// loader — parse, type conversion, and columnar materialisation — so its
+// output is directly comparable to the core pipeline's:
+//
+//   - Sequential: a single-threaded FSM loader, the proxy for the
+//     CPU-based DBMS loaders (MonetDB, pandas, Spark's CSV source) whose
+//     data loading Dziedzic et al. show to be CPU-bound;
+//   - NaiveSplit: a context-free split-on-delimiter loader — the fastest
+//     possible single-thread CPU anchor, and a demonstration of why
+//     context-free splitting mis-parses quoted inputs;
+//   - InstantLoading: the chunked multicore approach of Mühlbauer et al.,
+//     including its safe mode (a sequential context pre-pass) — the
+//     state-of-the-art CPU comparator;
+//   - QuoteCount: a GPU-style two-pass quote-parity parser run on the
+//     simulated device — the format-specific exploit that cuDF-class
+//     parsers use, standing in for RAPIDS in Figure 13.
+//
+// All loaders share the same field representation and table builder so
+// measured differences come from the parsing strategies themselves.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/columnar"
+	"repro/internal/convert"
+	"repro/internal/device"
+)
+
+// Loader is a complete CSV loader: raw bytes in, columnar table out.
+// A nil schema asks the loader to infer column types.
+type Loader interface {
+	// Name identifies the loader in experiment output.
+	Name() string
+	// Load parses the input into a columnar table.
+	Load(input []byte, schema *columnar.Schema) (*columnar.Table, error)
+}
+
+// ErrUnsupportedInput reports that a loader's parsing strategy cannot
+// handle the given input (e.g., Instant Loading on quoted fields that
+// embed record delimiters — §5.2: "the implementation of Inst. Loading
+// ... could not handle the yelp dataset due to its incomplete handling
+// of quoted strings in parallel loads").
+var ErrUnsupportedInput = errors.New("baseline: input not supported by this loader's parsing strategy")
+
+// rowSet is the loaders' shared intermediate representation: fields in
+// record order, grouped by record. Field values are unescaped (quotes
+// stripped, "" collapsed); they alias the input where no unescaping was
+// needed.
+type rowSet struct {
+	fields  [][]byte
+	recOffs []int32 // recOffs[r] is the index of record r's first field; len = records+1
+}
+
+func (rs *rowSet) numRecords() int { return len(rs.recOffs) - 1 }
+
+// fieldsOf returns the fields of record r.
+func (rs *rowSet) fieldsOf(r int) [][]byte {
+	return rs.fields[rs.recOffs[r]:rs.recOffs[r+1]]
+}
+
+// columnCounts returns the min and max per-record field count.
+func (rs *rowSet) columnCounts() (min, max int) {
+	n := rs.numRecords()
+	if n == 0 {
+		return 0, 0
+	}
+	min, max = int(rs.recOffs[1]-rs.recOffs[0]), int(rs.recOffs[1]-rs.recOffs[0])
+	for r := 1; r < n; r++ {
+		c := int(rs.recOffs[r+1] - rs.recOffs[r])
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	return min, max
+}
+
+// inferSchema classifies every field and unifies per column, mirroring
+// the type-inference reduction of §4.3.
+func (rs *rowSet) inferSchema() *columnar.Schema {
+	_, max := rs.columnCounts()
+	classes := make([]convert.Class, max)
+	for r := 0; r < rs.numRecords(); r++ {
+		for c, f := range rs.fieldsOf(r) {
+			classes[c] = convert.Unify(classes[c], convert.Classify(f))
+		}
+	}
+	fields := make([]columnar.Field, max)
+	for c, cl := range classes {
+		fields[c] = columnar.Field{Name: fmt.Sprintf("col%d", c), Type: cl.Type()}
+	}
+	return columnar.NewSchema(fields...)
+}
+
+// buildTable converts the row set into a columnar table under the given
+// schema (nil infers one). Records with fewer fields than the schema get
+// NULLs for missing typed columns and empty strings for missing string
+// columns — the same padding the core pipeline produces, whose CSS
+// representation does not distinguish a missing string field from an
+// empty one. Excess fields are dropped; the loaders that want to reject
+// ragged inputs check columnCounts before calling.
+func (rs *rowSet) buildTable(schema *columnar.Schema) (*columnar.Table, error) {
+	if schema == nil {
+		schema = rs.inferSchema()
+	}
+	n := rs.numRecords()
+	cols := make([]*columnar.Column, schema.NumColumns())
+	for c, f := range schema.Fields {
+		b := columnar.NewBuilder(f, n)
+		if f.Type == columnar.String {
+			for r := 0; r < n; r++ {
+				v, _ := rs.field(r, c)
+				b.SetStringLength(r, len(v))
+			}
+			b.Seal()
+			for r := 0; r < n; r++ {
+				if v, ok := rs.field(r, c); ok {
+					copy(b.StringDst(r), v)
+				}
+			}
+		} else {
+			for r := 0; r < n; r++ {
+				v, ok := rs.field(r, c)
+				if !ok || len(v) == 0 {
+					b.SetNull(r)
+					continue
+				}
+				if err := setFixed(b, f.Type, r, v); err != nil {
+					b.SetNull(r)
+				}
+			}
+		}
+		cols[c] = b.Finish()
+	}
+	return columnar.NewTable(schema, cols, nil)
+}
+
+// buildTableDevice is buildTable with every row loop run as a device
+// kernel, so loaders that model a GPU (QuoteCount) have their conversion
+// work timed — and, in modelled-time mode, parallelised — like the rest
+// of their kernels, mirroring cuDF's on-GPU materialisation.
+func (rs *rowSet) buildTableDevice(d *device.Device, phase string, schema *columnar.Schema) (*columnar.Table, error) {
+	if schema == nil {
+		schema = rs.inferSchema()
+	}
+	n := rs.numRecords()
+	cols := make([]*columnar.Column, schema.NumColumns())
+	for c, f := range schema.Fields {
+		c, f := c, f
+		b := columnar.NewBuilder(f, n)
+		if f.Type == columnar.String {
+			d.Launch(phase, n, func(r int) {
+				v, _ := rs.field(r, c)
+				b.SetStringLength(r, len(v))
+			})
+			b.Seal()
+			d.Launch(phase, n, func(r int) {
+				if v, ok := rs.field(r, c); ok {
+					copy(b.StringDst(r), v)
+				}
+			})
+		} else {
+			d.Launch(phase, n, func(r int) {
+				v, ok := rs.field(r, c)
+				if !ok || len(v) == 0 {
+					b.SetNull(r)
+					return
+				}
+				if err := setFixed(b, f.Type, r, v); err != nil {
+					b.SetNull(r)
+				}
+			})
+		}
+		cols[c] = b.Finish()
+	}
+	return columnar.NewTable(schema, cols, nil)
+}
+
+func (rs *rowSet) field(r, c int) ([]byte, bool) {
+	lo, hi := rs.recOffs[r], rs.recOffs[r+1]
+	if int32(c) >= hi-lo {
+		return nil, false
+	}
+	return rs.fields[lo+int32(c)], true
+}
+
+func setFixed(b *columnar.Builder, t columnar.Type, r int, v []byte) error {
+	switch t {
+	case columnar.Int64:
+		x, err := convert.ParseInt64(v)
+		if err != nil {
+			return err
+		}
+		b.SetInt64(r, x)
+	case columnar.Float64:
+		x, err := convert.ParseFloat64(v)
+		if err != nil {
+			return err
+		}
+		b.SetFloat64(r, x)
+	case columnar.Bool:
+		x, err := convert.ParseBool(v)
+		if err != nil {
+			return err
+		}
+		b.SetBool(r, x)
+	case columnar.Date32:
+		x, err := convert.ParseDate32(v)
+		if err != nil {
+			return err
+		}
+		b.SetInt64(r, x)
+	case columnar.TimestampMicros:
+		x, err := convert.ParseTimestampMicros(v)
+		if err != nil {
+			return err
+		}
+		b.SetInt64(r, x)
+	default:
+		return fmt.Errorf("baseline: unsupported type %v", t)
+	}
+	return nil
+}
+
+// unquote strips one level of surrounding quotes and collapses ""
+// escapes. It aliases raw when no escape is present.
+func unquote(raw []byte, quote byte) []byte {
+	if len(raw) >= 2 && raw[0] == quote && raw[len(raw)-1] == quote {
+		inner := raw[1 : len(raw)-1]
+		// Fast path: no embedded quotes to collapse.
+		hasEsc := false
+		for _, b := range inner {
+			if b == quote {
+				hasEsc = true
+				break
+			}
+		}
+		if !hasEsc {
+			return inner
+		}
+		out := make([]byte, 0, len(inner))
+		for i := 0; i < len(inner); i++ {
+			out = append(out, inner[i])
+			if inner[i] == quote && i+1 < len(inner) && inner[i+1] == quote {
+				i++ // skip the second quote of the "" escape
+			}
+		}
+		return out
+	}
+	return raw
+}

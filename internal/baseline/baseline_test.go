@@ -1,0 +1,445 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/columnar"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/dfa"
+	"repro/internal/workload"
+)
+
+// simpleCSV is an unquoted, taxi-like input every loader must handle.
+const simpleCSV = "1,2.5,hello,2018-03-04\n2,1.25,world,2018-03-05\n3,0.5,again,2018-03-06\n"
+
+// quotedCSV embeds field and record delimiters plus an escaped quote
+// inside quoted fields — the yelp-style input that defeats context-free
+// strategies.
+const quotedCSV = "1,\"a,b\",x\n2,\"line\nbreak\",y\n3,\"quote\"\"inside\",z\n4,plain,w\n"
+
+func simpleSchema() *columnar.Schema {
+	return columnar.NewSchema(
+		columnar.Field{Name: "id", Type: columnar.Int64},
+		columnar.Field{Name: "v", Type: columnar.Float64},
+		columnar.Field{Name: "s", Type: columnar.String},
+		columnar.Field{Name: "d", Type: columnar.Date32},
+	)
+}
+
+func allLoaders() []Loader {
+	return []Loader{
+		NewSequential(),
+		NewNaiveSplit(),
+		NewInstantLoading(4, false),
+		NewInstantLoading(4, true),
+		NewQuoteCount(nil),
+	}
+}
+
+// tableStrings renders a table to a canonical row-major form for
+// comparison.
+func tableStrings(t *columnar.Table) []string {
+	out := make([]string, 0, t.NumRows())
+	for r := 0; r < t.NumRows(); r++ {
+		var row []string
+		for c := 0; c < t.NumColumns(); c++ {
+			col := t.Column(c)
+			if col.IsNull(r) {
+				row = append(row, "NULL")
+			} else {
+				row = append(row, col.ValueString(r))
+			}
+		}
+		out = append(out, strings.Join(row, "|"))
+	}
+	return out
+}
+
+func TestAllLoadersAgreeOnSimpleInput(t *testing.T) {
+	schema := simpleSchema()
+	want, err := NewSequential().Load([]byte(simpleCSV), schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.NumRows() != 3 {
+		t.Fatalf("sequential rows = %d, want 3", want.NumRows())
+	}
+	wantRows := tableStrings(want)
+	for _, l := range allLoaders()[1:] {
+		got, err := l.Load([]byte(simpleCSV), schema)
+		if err != nil {
+			t.Errorf("%s: %v", l.Name(), err)
+			continue
+		}
+		gotRows := tableStrings(got)
+		if len(gotRows) != len(wantRows) {
+			t.Errorf("%s: %d rows, want %d", l.Name(), len(gotRows), len(wantRows))
+			continue
+		}
+		for i := range wantRows {
+			if gotRows[i] != wantRows[i] {
+				t.Errorf("%s row %d = %q, want %q", l.Name(), i, gotRows[i], wantRows[i])
+			}
+		}
+	}
+}
+
+func TestSequentialQuotedInput(t *testing.T) {
+	tbl, err := NewSequential().Load([]byte(quotedCSV), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 4 {
+		t.Fatalf("rows = %d, want 4", tbl.NumRows())
+	}
+	col1 := tbl.Column(1)
+	want := []string{"a,b", "line\nbreak", `quote"inside`, "plain"}
+	for i, w := range want {
+		if got := string(col1.StringValue(i)); got != w {
+			t.Errorf("row %d col 1 = %q, want %q", i, got, w)
+		}
+	}
+}
+
+func TestQuoteCountQuotedInput(t *testing.T) {
+	// Quote parity handles plain RFC 4180 quoting, including "" escapes.
+	tbl, err := NewQuoteCount(nil).Load([]byte(quotedCSV), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 4 {
+		t.Fatalf("rows = %d, want 4", tbl.NumRows())
+	}
+	if got := string(tbl.Column(1).StringValue(1)); got != "line\nbreak" {
+		t.Errorf("quoted record delimiter mis-parsed: %q", got)
+	}
+	if got := string(tbl.Column(1).StringValue(2)); got != `quote"inside` {
+		t.Errorf("escaped quote mis-parsed: %q", got)
+	}
+}
+
+func TestNaiveSplitRejectsQuotedInput(t *testing.T) {
+	_, err := NewNaiveSplit().Load([]byte(quotedCSV), nil)
+	if !errors.Is(err, ErrUnsupportedInput) {
+		t.Fatalf("err = %v, want ErrUnsupportedInput", err)
+	}
+}
+
+func TestInstantLoadingFastPathRejectsQuotedInput(t *testing.T) {
+	// Large quoted input so chunk boundaries land inside quoted fields:
+	// the §5.2 failure ("could not handle the yelp dataset").
+	input := workload.Yelp().Generate(1<<18, 7)
+	_, err := NewInstantLoading(8, false).Load(input, nil)
+	if !errors.Is(err, ErrUnsupportedInput) {
+		t.Fatalf("err = %v, want ErrUnsupportedInput", err)
+	}
+}
+
+func TestInstantLoadingSafeModeHandlesQuotedInput(t *testing.T) {
+	input := workload.Yelp().Generate(1<<16, 7)
+	want, err := NewSequential().Load(input, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewInstantLoading(8, true).Load(input, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != want.NumRows() {
+		t.Fatalf("rows = %d, want %d", got.NumRows(), want.NumRows())
+	}
+	w, g := tableStrings(want), tableStrings(got)
+	for i := range w {
+		if w[i] != g[i] {
+			t.Fatalf("row %d differs:\n safe: %q\n  seq: %q", i, g[i], w[i])
+		}
+	}
+}
+
+func TestInstantLoadingFastPathCorrectOnTaxi(t *testing.T) {
+	input := workload.Taxi().Generate(1<<16, 3)
+	want, err := NewSequential().Load(input, workload.Taxi().Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 3, 8, 32} {
+		got, err := NewInstantLoading(workers, false).Load(input, workload.Taxi().Schema)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got.NumRows() != want.NumRows() {
+			t.Fatalf("workers=%d: rows = %d, want %d", workers, got.NumRows(), want.NumRows())
+		}
+		w, g := tableStrings(want), tableStrings(got)
+		for i := range w {
+			if w[i] != g[i] {
+				t.Fatalf("workers=%d row %d differs: %q vs %q", workers, i, g[i], w[i])
+			}
+		}
+	}
+}
+
+func TestQuoteCountRefusesCommentFormats(t *testing.T) {
+	qc := NewQuoteCount(nil)
+	qc.Comment = '#'
+	_, err := qc.Load([]byte("#directive\n1,2\n"), nil)
+	if !errors.Is(err, ErrUnsupportedInput) {
+		t.Fatalf("err = %v, want ErrUnsupportedInput", err)
+	}
+}
+
+func TestQuoteCountOddQuoteCount(t *testing.T) {
+	_, err := NewQuoteCount(nil).Load([]byte("a,\"unterminated\n"), nil)
+	if !errors.Is(err, ErrUnsupportedInput) {
+		t.Fatalf("err = %v, want ErrUnsupportedInput", err)
+	}
+}
+
+func TestSequentialValidate(t *testing.T) {
+	s := NewSequential()
+	s.Validate = true
+	if _, err := s.Load([]byte("ab\"cd\n"), nil); err == nil {
+		t.Error("want error for bare quote inside unquoted field")
+	}
+	if _, err := s.Load([]byte("a,b\nc,d\n"), nil); err != nil {
+		t.Errorf("valid input rejected: %v", err)
+	}
+}
+
+func TestSequentialCommentFormat(t *testing.T) {
+	s := &Sequential{Machine: dfa.NewCSV(dfa.CSVOptions{Comment: '#'})}
+	tbl, err := s.Load([]byte("#header comment\n1,2\n#mid\n3,4\n"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 2 {
+		t.Fatalf("rows = %d, want 2 (comment lines leave no footprint)", tbl.NumRows())
+	}
+	if tbl.Column(0).Int64Value(1) != 3 {
+		t.Errorf("row 1 col 0 = %v", tbl.Column(0).ValueString(1))
+	}
+}
+
+func TestLoadersMatchCorePipeline(t *testing.T) {
+	// The cross-system oracle: core's massively parallel pipeline and the
+	// sequential FSM loader must produce identical tables on both
+	// workload families.
+	for _, spec := range []workload.Spec{workload.Yelp(), workload.Taxi()} {
+		t.Run(spec.Name, func(t *testing.T) {
+			input := spec.Generate(1<<16, 11)
+			res, err := core.Parse(input, core.Options{Schema: spec.Schema})
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq, err := NewSequential().Load(input, spec.Schema)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Table.NumRows() != seq.NumRows() {
+				t.Fatalf("core rows = %d, sequential rows = %d", res.Table.NumRows(), seq.NumRows())
+			}
+			w, g := tableStrings(seq), tableStrings(res.Table)
+			for i := range w {
+				if w[i] != g[i] {
+					t.Fatalf("row %d differs:\n core: %q\n  seq: %q", i, g[i], w[i])
+				}
+			}
+		})
+	}
+}
+
+func TestLoadersEmptyInput(t *testing.T) {
+	for _, l := range allLoaders() {
+		tbl, err := l.Load(nil, simpleSchema())
+		if err != nil {
+			t.Errorf("%s: %v", l.Name(), err)
+			continue
+		}
+		if tbl.NumRows() != 0 {
+			t.Errorf("%s: rows = %d, want 0", l.Name(), tbl.NumRows())
+		}
+	}
+}
+
+func TestLoadersNoTrailingNewline(t *testing.T) {
+	in := []byte("1,2.5,x,2018-01-02\n2,3.5,y,2018-01-03")
+	for _, l := range allLoaders() {
+		tbl, err := l.Load(in, simpleSchema())
+		if err != nil {
+			t.Errorf("%s: %v", l.Name(), err)
+			continue
+		}
+		if tbl.NumRows() != 2 {
+			t.Errorf("%s: rows = %d, want 2", l.Name(), tbl.NumRows())
+		}
+	}
+}
+
+func TestInferSchemaFromRows(t *testing.T) {
+	in := []byte("1,2.5,true,2018-01-02,2018-01-02 10:00:00,txt\n2,3,false,2018-01-03,2018-01-03 11:30:00,more\n")
+	tbl, err := NewSequential().Load(in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []columnar.Type{columnar.Int64, columnar.Float64, columnar.Bool, columnar.Date32, columnar.TimestampMicros, columnar.String}
+	if tbl.NumColumns() != len(want) {
+		t.Fatalf("columns = %d", tbl.NumColumns())
+	}
+	for c, w := range want {
+		if got := tbl.Column(c).Field().Type; got != w {
+			t.Errorf("col %d inferred %v, want %v", c, got, w)
+		}
+	}
+}
+
+func TestRaggedRecordsNullPadded(t *testing.T) {
+	// The robust loaders pad missing fields with NULL.
+	in := []byte("1,2,3\n4\n5,6,7\n")
+	tbl, err := NewSequential().Load(in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 3 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+	if !tbl.Column(1).IsNull(1) || !tbl.Column(2).IsNull(1) {
+		t.Error("missing fields of short record not NULL")
+	}
+	if tbl.Column(0).IsNull(1) {
+		t.Error("present field wrongly NULL")
+	}
+}
+
+func TestUnquote(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{`"abc"`, "abc"},
+		{`abc`, "abc"},
+		{`""`, ""},
+		{``, ""},
+		{`"a""b"`, `a"b`},
+		{`"a""""b"`, `a""b`},
+		{`"`, `"`},         // lone quote: not a quoted field
+		{`"open`, `"open`}, // unterminated: left raw
+	}
+	for _, c := range cases {
+		if got := string(unquote([]byte(c.in), '"')); got != c.want {
+			t.Errorf("unquote(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMergeRowSets(t *testing.T) {
+	a := &rowSet{fields: [][]byte{[]byte("a"), []byte("b")}, recOffs: []int32{0, 2}}
+	b := &rowSet{fields: [][]byte{[]byte("c")}, recOffs: []int32{0, 1}}
+	m := mergeRowSets([]*rowSet{a, b})
+	if m.numRecords() != 2 {
+		t.Fatalf("records = %d", m.numRecords())
+	}
+	if got := m.fieldsOf(1); len(got) != 1 || string(got[0]) != "c" {
+		t.Errorf("record 1 fields = %v", got)
+	}
+}
+
+func TestSyncToRecordStart(t *testing.T) {
+	in := []byte("aaaa\nbbbb\ncccc\n")
+	cases := []struct{ lo, hi, want int }{
+		{0, 15, 0},   // worker 0 starts at 0
+		{5, 15, 5},   // preceding byte is a delimiter: already a start
+		{6, 15, 10},  // mid-record: sync past next delimiter
+		{11, 14, 14}, // no delimiter in [11,14): hi back, worker owns no record
+	}
+	for _, c := range cases {
+		if got := syncToRecordStart(in, c.lo, c.hi, '\n'); got != c.want {
+			t.Errorf("sync(%d,%d) = %d, want %d", c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestSafeSplitsRespectQuotes(t *testing.T) {
+	// Newlines inside quotes must never become split points.
+	var sb strings.Builder
+	for i := 0; i < 100; i++ {
+		fmt.Fprintf(&sb, "%d,\"text\nwith\nbreaks\"\n", i)
+	}
+	in := []byte(sb.String())
+	bounds := safeSplits(in, 7, '\n', '"')
+	if bounds[0] != 0 || bounds[len(bounds)-1] != len(in) {
+		t.Fatalf("bounds ends = %d..%d", bounds[0], bounds[len(bounds)-1])
+	}
+	for _, b := range bounds[1 : len(bounds)-1] {
+		if in[b-1] != '\n' {
+			t.Errorf("split %d not after a newline", b)
+		}
+		// Verify parity: quotes before b must be even.
+		q := 0
+		for i := 0; i < b; i++ {
+			if in[i] == '"' {
+				q++
+			}
+		}
+		if q%2 != 0 {
+			t.Errorf("split %d inside a quoted field", b)
+		}
+	}
+}
+
+func TestInstantLoadingMeasuredTiming(t *testing.T) {
+	input := workload.Taxi().Generate(1<<16, 5)
+	il := NewInstantLoading(8, true)
+	il.MeasureTiming = true
+	want, err := NewInstantLoading(8, true).Load(input, workload.Taxi().Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := il.Load(input, workload.Taxi().Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != want.NumRows() {
+		t.Fatalf("timed run rows = %d, want %d", got.NumRows(), want.NumRows())
+	}
+	tm := il.LastTiming()
+	if tm.SerialPass <= 0 {
+		t.Error("safe mode must record a serial pre-pass duration")
+	}
+	if len(tm.Workers) == 0 || tm.Build <= 0 {
+		t.Errorf("timing incomplete: %+v", tm)
+	}
+	// Modelling with more cores never increases the duration, and the
+	// serial pass bounds it from below (Amdahl).
+	if tm.Modelled(32) > tm.Modelled(1) {
+		t.Error("more cores increased modelled duration")
+	}
+	if tm.Modelled(1<<20) < tm.SerialPass {
+		t.Error("modelled duration fell below the serial term")
+	}
+}
+
+func TestQuoteCountOnVirtualDevice(t *testing.T) {
+	input := workload.Taxi().Generate(1<<16, 9)
+	d := device.New(device.Config{Workers: 1, VirtualWorkers: 1024})
+	qc := NewQuoteCount(d)
+	tbl, err := qc.Load(input, workload.Taxi().Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := NewSequential().Load(input, workload.Taxi().Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != want.NumRows() {
+		t.Fatalf("rows = %d, want %d", tbl.NumRows(), want.NumRows())
+	}
+	if d.Timers().Total() <= 0 {
+		t.Error("no modelled device time recorded")
+	}
+	for _, phase := range []string{"qc-count", "qc-scan", "qc-delims", "qc-fields", "qc-convert"} {
+		if d.Timers().Count(phase) == 0 {
+			t.Errorf("phase %s never timed", phase)
+		}
+	}
+}

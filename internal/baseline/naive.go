@@ -1,0 +1,71 @@
+package baseline
+
+import (
+	"bytes"
+
+	"repro/internal/columnar"
+)
+
+// NaiveSplit is a context-free split-on-delimiter loader: records are
+// '\n'-separated lines, fields are ','-separated spans. It performs no
+// context tracking at all, so it is the fastest possible single-thread
+// CPU anchor per byte — and it mis-parses any input whose quoted fields
+// embed delimiters (§1, Figure 1: "lacking context leads to
+// misinterpretation"). With Strict set (the default via NewNaiveSplit),
+// such inputs are detected through their inconsistent per-record column
+// counts and rejected with ErrUnsupportedInput.
+type NaiveSplit struct {
+	// FieldDelim and RecordDelim default to ',' and '\n'.
+	FieldDelim, RecordDelim byte
+	// Quote is the enclosing symbol stripped from field ends (but never
+	// used for context). Defaults to '"'.
+	Quote byte
+	// Strict rejects inputs whose records disagree on column count —
+	// the observable symptom of context misinterpretation.
+	Strict bool
+}
+
+// NewNaiveSplit returns a strict naive loader with CSV defaults.
+func NewNaiveSplit() *NaiveSplit { return &NaiveSplit{Strict: true} }
+
+// Name implements Loader.
+func (n *NaiveSplit) Name() string { return "naive-split" }
+
+// Load implements Loader.
+func (n *NaiveSplit) Load(input []byte, schema *columnar.Schema) (*columnar.Table, error) {
+	fd, rd, q := n.FieldDelim, n.RecordDelim, n.Quote
+	if fd == 0 {
+		fd = ','
+	}
+	if rd == 0 {
+		rd = '\n'
+	}
+	if q == 0 {
+		q = '"'
+	}
+	rs := &rowSet{recOffs: []int32{0}}
+	for len(input) > 0 {
+		line := input
+		if i := bytes.IndexByte(input, rd); i >= 0 {
+			line, input = input[:i], input[i+1:]
+		} else {
+			input = nil
+		}
+		for {
+			i := bytes.IndexByte(line, fd)
+			if i < 0 {
+				rs.fields = append(rs.fields, unquote(line, q))
+				break
+			}
+			rs.fields = append(rs.fields, unquote(line[:i], q))
+			line = line[i+1:]
+		}
+		rs.recOffs = append(rs.recOffs, int32(len(rs.fields)))
+	}
+	if n.Strict {
+		if min, max := rs.columnCounts(); min != max {
+			return nil, ErrUnsupportedInput
+		}
+	}
+	return rs.buildTable(schema)
+}

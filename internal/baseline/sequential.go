@@ -1,0 +1,82 @@
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/columnar"
+	"repro/internal/dfa"
+)
+
+// Sequential is a single-threaded FSM loader: one DFA instance reads the
+// whole input beginning to end, always aware of its state (§3.1's
+// description of "a sequential approach"). It is the correctness oracle
+// for every other loader — and the proxy for the CPU-based systems of
+// Figure 13 (MonetDB, pandas), whose loading is CPU-bound on exactly
+// this per-byte state machine plus type conversion work.
+type Sequential struct {
+	// Machine is the parsing-rules DFA; nil uses dfa.RFC4180().
+	Machine *dfa.Machine
+	// Validate fails the load on invalid input or a non-accepting end
+	// state, mirroring core's Options.Validate.
+	Validate bool
+}
+
+// NewSequential returns a sequential RFC 4180 loader.
+func NewSequential() *Sequential { return &Sequential{} }
+
+// Name implements Loader.
+func (s *Sequential) Name() string { return "sequential" }
+
+// Load implements Loader.
+func (s *Sequential) Load(input []byte, schema *columnar.Schema) (*columnar.Table, error) {
+	rs, err := s.rows(input)
+	if err != nil {
+		return nil, err
+	}
+	return rs.buildTable(schema)
+}
+
+// rows runs the DFA over the input, materialising unescaped field values.
+func (s *Sequential) rows(input []byte) (*rowSet, error) {
+	m := s.Machine
+	if m == nil {
+		m = dfa.RFC4180()
+	}
+	rs := &rowSet{recOffs: []int32{0}}
+	var field []byte // current field under construction (unescaped)
+
+	st := m.Start()
+	for i := 0; i < len(input); i++ {
+		b := input[i]
+		g := m.Group(b)
+		e := m.Emission(st, g)
+		st = m.NextByGroup(st, g)
+		if s.Validate && m.IsInvalid(st) {
+			return nil, fmt.Errorf("sequential: invalid input at byte %d (%q)", i, b)
+		}
+		switch {
+		case e.IsRecordDelim():
+			rs.fields = append(rs.fields, field)
+			field = nil
+			rs.recOffs = append(rs.recOffs, int32(len(rs.fields)))
+		case e.IsFieldDelim():
+			rs.fields = append(rs.fields, field)
+			field = nil
+		case e.IsData():
+			field = append(field, b)
+		}
+	}
+	if s.Validate && !m.Accepting(st) {
+		return nil, fmt.Errorf("sequential: non-accepting end state %s", m.StateName(st))
+	}
+	// Unterminated trailing record: any state reached mid-record (data
+	// seen, a quote opened, or a field delimiter consumed) closes as one
+	// final record, matching core's TrailingRecord treatment. A parse
+	// that ended in the invalid sink emits no trailing record — the
+	// symbols after the violation are control symbols, not a record.
+	if !m.IsInvalid(st) && (m.MidRecord(st) || int(rs.recOffs[len(rs.recOffs)-1]) < len(rs.fields)) {
+		rs.fields = append(rs.fields, field)
+		rs.recOffs = append(rs.recOffs, int32(len(rs.fields)))
+	}
+	return rs, nil
+}

@@ -1,0 +1,16 @@
+package bitmap
+
+import "sync/atomic"
+
+// orWord merges bits into *w with an atomic compare-and-swap loop. Only
+// the (at most two) boundary words of a chunk can be contended, and the
+// merged bit sets are disjoint, so the loop converges after at most one
+// retry per concurrent neighbour.
+func orWord(w *uint64, bits uint64) {
+	for {
+		old := atomic.LoadUint64(w)
+		if atomic.CompareAndSwapUint64(w, old, old|bits) {
+			return
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package bitmap provides the bit-per-symbol indexes ParPaRaw's tagging
+// step produces (§3.1): one bitmap marking record-delimiting symbols, one
+// marking field-delimiting symbols, and one marking control symbols that
+// are not part of any field value. Subsequent steps (record/column offset
+// computation, §3.2) operate on these bitmaps with population counts and
+// bit manipulation instead of re-simulating the DFA.
+package bitmap
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+const wordBits = 64
+
+// Bitmap is a fixed-length bit vector. Distinct word ranges may be
+// written concurrently by different device threads; bits within one word
+// must be owned by a single thread (ParPaRaw guarantees this by aligning
+// chunk boundaries, and the chunked writer below provides the same
+// guarantee for arbitrary chunk sizes via a per-chunk staging word).
+type Bitmap struct {
+	n     int
+	words []uint64
+}
+
+// New returns a zeroed bitmap of n bits.
+func New(n int) *Bitmap {
+	if n < 0 {
+		panic("bitmap: negative length")
+	}
+	return &Bitmap{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// Len returns the number of bits.
+func (b *Bitmap) Len() int { return b.n }
+
+// Set sets bit i.
+func (b *Bitmap) Set(i int) {
+	b.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Clear clears bit i.
+func (b *Bitmap) Clear(i int) {
+	b.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// Get reports bit i.
+func (b *Bitmap) Get(i int) bool {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("bitmap: index %d out of range [0,%d)", i, b.n))
+	}
+	return b.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// PopCount returns the number of set bits in [0, Len()).
+func (b *Bitmap) PopCount() int {
+	total := 0
+	for _, w := range b.words {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// PopCountRange returns the number of set bits in [lo, hi). It is the
+// popc primitive §3.2 uses for per-chunk record counts.
+func (b *Bitmap) PopCountRange(lo, hi int) int {
+	if lo < 0 || hi > b.n || lo > hi {
+		panic(fmt.Sprintf("bitmap: bad range [%d,%d) of %d", lo, hi, b.n))
+	}
+	if lo == hi {
+		return 0
+	}
+	loWord, hiWord := lo/wordBits, (hi-1)/wordBits
+	loMask := ^uint64(0) << (uint(lo) % wordBits)
+	hiMask := ^uint64(0) >> (wordBits - 1 - uint(hi-1)%wordBits)
+	if loWord == hiWord {
+		return bits.OnesCount64(b.words[loWord] & loMask & hiMask)
+	}
+	total := bits.OnesCount64(b.words[loWord] & loMask)
+	for w := loWord + 1; w < hiWord; w++ {
+		total += bits.OnesCount64(b.words[w])
+	}
+	total += bits.OnesCount64(b.words[hiWord] & hiMask)
+	return total
+}
+
+// LastSetInRange returns the index of the highest set bit in [lo, hi) and
+// true, or 0 and false when the range has no set bit. §3.2 uses it to
+// find the last record delimiter of a chunk, after which column counting
+// restarts.
+func (b *Bitmap) LastSetInRange(lo, hi int) (int, bool) {
+	if lo < 0 || hi > b.n || lo > hi {
+		panic(fmt.Sprintf("bitmap: bad range [%d,%d) of %d", lo, hi, b.n))
+	}
+	if lo == hi {
+		return 0, false
+	}
+	hiWord := (hi - 1) / wordBits
+	loWord := lo / wordBits
+	for w := hiWord; w >= loWord; w-- {
+		word := b.words[w]
+		if w == hiWord {
+			word &= ^uint64(0) >> (wordBits - 1 - uint(hi-1)%wordBits)
+		}
+		if w == loWord {
+			word &= ^uint64(0) << (uint(lo) % wordBits)
+		}
+		if word != 0 {
+			return w*wordBits + (wordBits - 1 - bits.LeadingZeros64(word)), true
+		}
+	}
+	return 0, false
+}
+
+// FirstSetInRange returns the index of the lowest set bit in [lo, hi) and
+// true, or 0 and false when the range has no set bit.
+func (b *Bitmap) FirstSetInRange(lo, hi int) (int, bool) {
+	if lo < 0 || hi > b.n || lo > hi {
+		panic(fmt.Sprintf("bitmap: bad range [%d,%d) of %d", lo, hi, b.n))
+	}
+	if lo == hi {
+		return 0, false
+	}
+	loWord := lo / wordBits
+	hiWord := (hi - 1) / wordBits
+	for w := loWord; w <= hiWord; w++ {
+		word := b.words[w]
+		if w == loWord {
+			word &= ^uint64(0) << (uint(lo) % wordBits)
+		}
+		if w == hiWord {
+			word &= ^uint64(0) >> (wordBits - 1 - uint(hi-1)%wordBits)
+		}
+		if word != 0 {
+			return w*wordBits + bits.TrailingZeros64(word), true
+		}
+	}
+	return 0, false
+}
+
+// ChunkWriter builds one bit range of a shared Bitmap without racing on
+// word boundaries: a device thread creates a ChunkWriter for its chunk's
+// half-open symbol range, sets bits locally, and Flush merges the staged
+// words into the backing bitmap with boundary words combined under OR.
+type ChunkWriter struct {
+	target *Bitmap
+	lo, hi int
+	staged []uint64 // local words covering [loWord, hiWord]
+	loWord int
+}
+
+// NewChunkWriter returns a writer for bits [lo, hi) of target.
+func (b *Bitmap) NewChunkWriter(lo, hi int) *ChunkWriter {
+	if lo < 0 || hi > b.n || lo > hi {
+		panic(fmt.Sprintf("bitmap: bad chunk range [%d,%d) of %d", lo, hi, b.n))
+	}
+	if lo == hi {
+		return &ChunkWriter{target: b, lo: lo, hi: hi}
+	}
+	loWord := lo / wordBits
+	hiWord := (hi - 1) / wordBits
+	return &ChunkWriter{
+		target: b,
+		lo:     lo,
+		hi:     hi,
+		staged: make([]uint64, hiWord-loWord+1),
+		loWord: loWord,
+	}
+}
+
+// Set stages bit i (which must lie inside the writer's range).
+func (w *ChunkWriter) Set(i int) {
+	if i < w.lo || i >= w.hi {
+		panic(fmt.Sprintf("bitmap: chunk writer set %d outside [%d,%d)", i, w.lo, w.hi))
+	}
+	w.staged[i/wordBits-w.loWord] |= 1 << (uint(i) % wordBits)
+}
+
+// Flush merges the staged bits into the target. Interior words are owned
+// exclusively by this chunk (stored directly); the two boundary words may
+// be shared with neighbouring chunks and are merged atomically under the
+// bitmap's sharding discipline: ParPaRaw chunks write disjoint *bits*, so
+// OR-merging via atomics is race-free and lock-free.
+func (w *ChunkWriter) Flush() {
+	if w.lo == w.hi {
+		return
+	}
+	for j, word := range w.staged {
+		if word == 0 {
+			continue
+		}
+		orWord(&w.target.words[w.loWord+j], word)
+	}
+}

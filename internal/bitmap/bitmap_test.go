@@ -1,0 +1,199 @@
+package bitmap
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGetClear(t *testing.T) {
+	b := New(200)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 199} {
+		b.Set(i)
+		if !b.Get(i) {
+			t.Errorf("bit %d not set", i)
+		}
+	}
+	b.Clear(64)
+	if b.Get(64) {
+		t.Error("bit 64 not cleared")
+	}
+	if b.PopCount() != 7 {
+		t.Errorf("popcount = %d, want 7", b.PopCount())
+	}
+}
+
+func TestPopCountRange(t *testing.T) {
+	n := 300
+	b := New(n)
+	ref := make([]bool, n)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < n; i++ {
+		if rng.Intn(3) == 0 {
+			b.Set(i)
+			ref[i] = true
+		}
+	}
+	for trial := 0; trial < 500; trial++ {
+		lo := rng.Intn(n + 1)
+		hi := lo + rng.Intn(n+1-lo)
+		want := 0
+		for i := lo; i < hi; i++ {
+			if ref[i] {
+				want++
+			}
+		}
+		if got := b.PopCountRange(lo, hi); got != want {
+			t.Fatalf("PopCountRange(%d,%d) = %d, want %d", lo, hi, got, want)
+		}
+	}
+}
+
+func TestFirstLastSetInRange(t *testing.T) {
+	n := 257
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 300; trial++ {
+		b := New(n)
+		ref := make([]bool, n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(10) == 0 {
+				b.Set(i)
+				ref[i] = true
+			}
+		}
+		lo := rng.Intn(n + 1)
+		hi := lo + rng.Intn(n+1-lo)
+		wantFirst, wantLast, any := 0, 0, false
+		for i := lo; i < hi; i++ {
+			if ref[i] {
+				if !any {
+					wantFirst = i
+				}
+				wantLast = i
+				any = true
+			}
+		}
+		gotFirst, okF := b.FirstSetInRange(lo, hi)
+		gotLast, okL := b.LastSetInRange(lo, hi)
+		if okF != any || okL != any {
+			t.Fatalf("range [%d,%d): ok mismatch first=%v last=%v want %v", lo, hi, okF, okL, any)
+		}
+		if any && (gotFirst != wantFirst || gotLast != wantLast) {
+			t.Fatalf("range [%d,%d): first=%d/%d last=%d/%d", lo, hi, gotFirst, wantFirst, gotLast, wantLast)
+		}
+	}
+}
+
+func TestRangeEdgeCases(t *testing.T) {
+	b := New(128)
+	b.Set(0)
+	b.Set(127)
+	if got := b.PopCountRange(0, 128); got != 2 {
+		t.Errorf("full range popcount = %d", got)
+	}
+	if got := b.PopCountRange(5, 5); got != 0 {
+		t.Errorf("empty range popcount = %d", got)
+	}
+	if _, ok := b.FirstSetInRange(5, 5); ok {
+		t.Error("empty range must have no first set bit")
+	}
+	if i, ok := b.LastSetInRange(0, 128); !ok || i != 127 {
+		t.Errorf("last = %d/%v", i, ok)
+	}
+	if i, ok := b.FirstSetInRange(0, 128); !ok || i != 0 {
+		t.Errorf("first = %d/%v", i, ok)
+	}
+	if i, ok := b.LastSetInRange(1, 127); ok {
+		t.Errorf("interior range found %d", i)
+	}
+}
+
+func TestBadRangePanics(t *testing.T) {
+	b := New(64)
+	for _, r := range [][2]int{{-1, 10}, {0, 65}, {10, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("range %v: want panic", r)
+				}
+			}()
+			b.PopCountRange(r[0], r[1])
+		}()
+	}
+}
+
+// TestChunkWriterConcurrent verifies the per-chunk staging discipline:
+// many goroutines write disjoint bit ranges that share boundary words and
+// the merged result must equal a serial construction.
+func TestChunkWriterConcurrent(t *testing.T) {
+	n := 10_000
+	chunk := 31 // deliberately not word-aligned (the paper's default)
+	b := New(n)
+	ref := New(n)
+	for i := 0; i < n; i += 3 {
+		ref.Set(i)
+	}
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			w := b.NewChunkWriter(lo, hi)
+			for i := lo; i < hi; i++ {
+				if i%3 == 0 {
+					w.Set(i)
+				}
+			}
+			w.Flush()
+		}(lo, hi)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if b.Get(i) != ref.Get(i) {
+			t.Fatalf("bit %d = %v, want %v", i, b.Get(i), ref.Get(i))
+		}
+	}
+}
+
+func TestChunkWriterEmptyAndBounds(t *testing.T) {
+	b := New(64)
+	w := b.NewChunkWriter(10, 10)
+	w.Flush() // no-op
+	w2 := b.NewChunkWriter(0, 10)
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic for out-of-range Set")
+		}
+	}()
+	w2.Set(10)
+}
+
+func TestPopCountRangeQuick(t *testing.T) {
+	f := func(setBits []uint16, lo16, span16 uint16) bool {
+		n := 1 << 12
+		b := New(n)
+		ref := make([]bool, n)
+		for _, s := range setBits {
+			i := int(s) % n
+			b.Set(i)
+			ref[i] = true
+		}
+		lo := int(lo16) % (n + 1)
+		hi := lo + int(span16)%(n+1-lo)
+		want := 0
+		for i := lo; i < hi; i++ {
+			if ref[i] {
+				want++
+			}
+		}
+		return b.PopCountRange(lo, hi) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,167 @@
+package columnar
+
+// Builder materialises one column with row-parallel writes: the row count
+// is fixed up front, every buffer is preallocated, and distinct rows may
+// be written by distinct device threads concurrently (no two threads ever
+// touch the same row, which is guaranteed by the record-offset scan).
+type Builder struct {
+	field Field
+	n     int
+
+	valid    []bool
+	ints     []int64
+	floats   []float64
+	bools    []bool
+	lengths  []int32 // String: per-row value length, staged before Seal
+	offsets  []int32
+	data     []byte
+	sealed   bool
+	finished bool
+}
+
+// NewBuilder returns a builder for a column of n rows. Rows start valid
+// with zero values.
+func NewBuilder(field Field, n int) *Builder {
+	b := &Builder{field: field, n: n, valid: make([]bool, n)}
+	for i := range b.valid {
+		b.valid[i] = true
+	}
+	switch field.Type {
+	case String:
+		b.lengths = make([]int32, n)
+	case Float64:
+		b.floats = make([]float64, n)
+	case Bool:
+		b.bools = make([]bool, n)
+	default:
+		b.ints = make([]int64, n)
+	}
+	return b
+}
+
+// Len returns the row count.
+func (b *Builder) Len() int { return b.n }
+
+// Field returns the field under construction.
+func (b *Builder) Field() Field { return b.field }
+
+// SetNull marks row i null. Like all row setters it may be called for
+// distinct rows from concurrent device threads; whether any row is null
+// is derived once in Finish, so no shared flag is written here.
+func (b *Builder) SetNull(i int) {
+	b.valid[i] = false
+}
+
+// SetInt64 stores an integer-backed value (Int64, Date32, Timestamp).
+func (b *Builder) SetInt64(i int, v int64) { b.ints[i] = v }
+
+// SetFloat64 stores a float value.
+func (b *Builder) SetFloat64(i int, v float64) { b.floats[i] = v }
+
+// SetBool stores a boolean value.
+func (b *Builder) SetBool(i int, v bool) { b.bools[i] = v }
+
+// SetStringLength stages the byte length of row i's string value. All
+// lengths must be staged before Seal computes the offsets buffer.
+func (b *Builder) SetStringLength(i int, n int) { b.lengths[i] = int32(n) }
+
+// Seal converts staged string lengths into the offsets buffer (an
+// exclusive prefix sum, exactly the CSS-index construction of §3.3) and
+// allocates the data buffer. It must be called once for String columns
+// before StringDst; it is a no-op for fixed-width columns.
+func (b *Builder) Seal() {
+	if b.field.Type != String || b.sealed {
+		b.sealed = true
+		return
+	}
+	b.offsets = make([]int32, b.n+1)
+	var acc int32
+	for i, l := range b.lengths {
+		b.offsets[i] = acc
+		acc += l
+	}
+	b.offsets[b.n] = acc
+	b.data = make([]byte, acc)
+	b.sealed = true
+}
+
+// StringDst returns the destination slice for row i's string payload;
+// the caller copies the value bytes into it. Only valid after Seal.
+func (b *Builder) StringDst(i int) []byte {
+	return b.data[b.offsets[i]:b.offsets[i+1]]
+}
+
+// Finish freezes the builder into an immutable Column.
+func (b *Builder) Finish() *Column {
+	if b.finished {
+		panic("columnar: Finish called twice")
+	}
+	if b.field.Type == String && !b.sealed {
+		b.Seal()
+	}
+	b.finished = true
+	c := &Column{
+		field:   b.field,
+		n:       b.n,
+		ints:    b.ints,
+		floats:  b.floats,
+		bools:   b.bools,
+		offsets: b.offsets,
+		data:    b.data,
+	}
+	for _, v := range b.valid {
+		if !v {
+			c.valid = b.valid
+			break
+		}
+	}
+	return c
+}
+
+// FromStrings builds a String column from Go strings (test/example
+// convenience; the parser itself materialises via StringDst).
+func FromStrings(name string, values []string) *Column {
+	b := NewBuilder(Field{Name: name, Type: String}, len(values))
+	for i, v := range values {
+		b.SetStringLength(i, len(v))
+	}
+	b.Seal()
+	for i, v := range values {
+		copy(b.StringDst(i), v)
+	}
+	return b.Finish()
+}
+
+// FromInt64s builds an Int64 column (test/example convenience).
+func FromInt64s(name string, values []int64) *Column {
+	b := NewBuilder(Field{Name: name, Type: Int64}, len(values))
+	for i, v := range values {
+		b.SetInt64(i, v)
+	}
+	return b.Finish()
+}
+
+// FromFloat64s builds a Float64 column (test/example convenience).
+func FromFloat64s(name string, values []float64) *Column {
+	b := NewBuilder(Field{Name: name, Type: Float64}, len(values))
+	for i, v := range values {
+		b.SetFloat64(i, v)
+	}
+	return b.Finish()
+}
+
+// ValidityPacked exports the column's validity as an Arrow-style packed
+// little-endian bitmap (bit i of byte i/8 set = valid). A column without
+// nulls returns nil.
+func (c *Column) ValidityPacked() []byte {
+	if c.valid == nil {
+		return nil
+	}
+	out := make([]byte, (c.n+7)/8)
+	for i, v := range c.valid {
+		if v {
+			out[i/8] |= 1 << (uint(i) % 8)
+		}
+	}
+	return out
+}

@@ -1,0 +1,250 @@
+// Package columnar implements the Apache-Arrow-style columnar memory
+// format ParPaRaw emits (§5: "The output of ParPaRaw is configured to
+// comply with the format specified by Apache Arrow"). Each column holds a
+// contiguous data buffer, a validity bitmap, and — for variable-width
+// types — an offsets buffer, so downstream analytic operators can consume
+// the result without further conversion.
+//
+// Builders are designed for the data-parallel materialisation of §3.3:
+// rows are preallocated and distinct rows may be written concurrently by
+// different device threads.
+package columnar
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Type enumerates the supported column types.
+type Type uint8
+
+const (
+	// String is a variable-width UTF-8 column (offsets + data buffers).
+	String Type = iota
+	// Int64 is a 64-bit signed integer column.
+	Int64
+	// Float64 is a 64-bit IEEE 754 column.
+	Float64
+	// Bool is a boolean column.
+	Bool
+	// Date32 stores days since the Unix epoch (Arrow date32).
+	Date32
+	// TimestampMicros stores microseconds since the Unix epoch (Arrow
+	// timestamp[us]).
+	TimestampMicros
+)
+
+func (t Type) String() string {
+	switch t {
+	case String:
+		return "string"
+	case Int64:
+		return "int64"
+	case Float64:
+		return "float64"
+	case Bool:
+		return "bool"
+	case Date32:
+		return "date32"
+	case TimestampMicros:
+		return "timestamp[us]"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// FixedWidth reports whether values of t have a fixed byte width.
+func (t Type) FixedWidth() bool { return t != String }
+
+// Field describes one column of a schema.
+type Field struct {
+	Name string
+	Type Type
+}
+
+// Schema is an ordered list of fields.
+type Schema struct {
+	Fields []Field
+}
+
+// NewSchema builds a schema from fields.
+func NewSchema(fields ...Field) *Schema { return &Schema{Fields: fields} }
+
+// NumColumns returns the number of fields.
+func (s *Schema) NumColumns() int { return len(s.Fields) }
+
+func (s *Schema) String() string {
+	parts := make([]string, len(s.Fields))
+	for i, f := range s.Fields {
+		parts[i] = fmt.Sprintf("%s:%s", f.Name, f.Type)
+	}
+	return "schema<" + strings.Join(parts, ", ") + ">"
+}
+
+// Column is an immutable materialised column.
+type Column struct {
+	field Field
+	n     int
+
+	valid []bool // validity; nil means all valid
+
+	ints    []int64   // Int64, Date32 (days), TimestampMicros (µs)
+	floats  []float64 // Float64
+	bools   []bool    // Bool
+	offsets []int32   // String: n+1 offsets into data
+	data    []byte    // String payload
+}
+
+// Field returns the column's field descriptor.
+func (c *Column) Field() Field { return c.field }
+
+// Len returns the number of rows.
+func (c *Column) Len() int { return c.n }
+
+// IsNull reports whether row i is null.
+func (c *Column) IsNull(i int) bool { return c.valid != nil && !c.valid[i] }
+
+// NullCount returns the number of null rows.
+func (c *Column) NullCount() int {
+	if c.valid == nil {
+		return 0
+	}
+	nulls := 0
+	for _, v := range c.valid {
+		if !v {
+			nulls++
+		}
+	}
+	return nulls
+}
+
+// Int64Value returns row i of an Int64/Date32/TimestampMicros column.
+func (c *Column) Int64Value(i int) int64 { return c.ints[i] }
+
+// Float64Value returns row i of a Float64 column.
+func (c *Column) Float64Value(i int) float64 { return c.floats[i] }
+
+// BoolValue returns row i of a Bool column.
+func (c *Column) BoolValue(i int) bool { return c.bools[i] }
+
+// StringValue returns row i of a String column (zero-copy slice of the
+// column's data buffer).
+func (c *Column) StringValue(i int) []byte {
+	return c.data[c.offsets[i]:c.offsets[i+1]]
+}
+
+// DataBytes returns the total size of the column's buffers in bytes (for
+// throughput accounting in the streaming pipeline).
+func (c *Column) DataBytes() int64 {
+	var b int64
+	switch c.field.Type {
+	case String:
+		b = int64(len(c.data)) + int64(len(c.offsets))*4
+	case Float64:
+		b = int64(len(c.floats)) * 8
+	case Bool:
+		b = int64(len(c.bools))
+	default:
+		b = int64(len(c.ints)) * 8
+	}
+	if c.valid != nil {
+		b += int64((c.n + 7) / 8)
+	}
+	return b
+}
+
+// ValueString formats row i for display.
+func (c *Column) ValueString(i int) string {
+	if c.IsNull(i) {
+		return "NULL"
+	}
+	switch c.field.Type {
+	case String:
+		return string(c.StringValue(i))
+	case Int64:
+		return strconv.FormatInt(c.ints[i], 10)
+	case Float64:
+		return strconv.FormatFloat(c.floats[i], 'g', -1, 64)
+	case Bool:
+		return strconv.FormatBool(c.bools[i])
+	case Date32:
+		return time.Unix(c.ints[i]*86400, 0).UTC().Format("2006-01-02")
+	case TimestampMicros:
+		sec, usec := c.ints[i]/1e6, c.ints[i]%1e6
+		return time.Unix(sec, usec*1000).UTC().Format("2006-01-02 15:04:05")
+	default:
+		return "?"
+	}
+}
+
+// Table is a set of equal-length columns.
+type Table struct {
+	schema  *Schema
+	columns []*Column
+	rows    int
+	// Rejected flags records that failed validation or type conversion
+	// under the reject policy (§4.1, Figure 5's "reject" vector). nil
+	// means no rejects.
+	rejected []bool
+}
+
+// NewTable assembles a table; all columns must have equal length.
+func NewTable(schema *Schema, columns []*Column, rejected []bool) (*Table, error) {
+	if len(columns) != schema.NumColumns() {
+		return nil, fmt.Errorf("columnar: %d columns for schema of %d", len(columns), schema.NumColumns())
+	}
+	rows := 0
+	if len(columns) > 0 {
+		rows = columns[0].Len()
+	}
+	for i, c := range columns {
+		if c.Len() != rows {
+			return nil, fmt.Errorf("columnar: column %d has %d rows, want %d", i, c.Len(), rows)
+		}
+	}
+	if rejected != nil && len(rejected) != rows {
+		return nil, fmt.Errorf("columnar: rejected vector has %d entries, want %d", len(rejected), rows)
+	}
+	return &Table{schema: schema, columns: columns, rows: rows, rejected: rejected}, nil
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() *Schema { return t.schema }
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int { return t.rows }
+
+// NumColumns returns the column count.
+func (t *Table) NumColumns() int { return len(t.columns) }
+
+// Column returns column i.
+func (t *Table) Column(i int) *Column { return t.columns[i] }
+
+// Rejected reports whether record i was rejected.
+func (t *Table) Rejected(i int) bool { return t.rejected != nil && t.rejected[i] }
+
+// RejectedCount returns the number of rejected records.
+func (t *Table) RejectedCount() int {
+	n := 0
+	for _, r := range t.rejected {
+		if r {
+			n++
+		}
+	}
+	return n
+}
+
+// DataBytes returns the total materialised size across all columns.
+func (t *Table) DataBytes() int64 {
+	var b int64
+	for _, c := range t.columns {
+		b += c.DataBytes()
+	}
+	return b
+}
+
+// NaN is the float payload used for display comparisons in tests.
+var NaN = math.NaN()

@@ -1,0 +1,227 @@
+package columnar
+
+import (
+	"testing"
+)
+
+func TestTypeString(t *testing.T) {
+	names := map[Type]string{
+		String: "string", Int64: "int64", Float64: "float64",
+		Bool: "bool", Date32: "date32", TimestampMicros: "timestamp[us]",
+	}
+	for ty, want := range names {
+		if ty.String() != want {
+			t.Errorf("%d.String() = %q, want %q", ty, ty.String(), want)
+		}
+	}
+	if !Int64.FixedWidth() || String.FixedWidth() {
+		t.Error("FixedWidth wrong")
+	}
+}
+
+func TestSchema(t *testing.T) {
+	s := NewSchema(Field{"a", Int64}, Field{"b", String})
+	if s.NumColumns() != 2 {
+		t.Errorf("columns = %d", s.NumColumns())
+	}
+	if got := s.String(); got != "schema<a:int64, b:string>" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestBuilderFixedTypes(t *testing.T) {
+	b := NewBuilder(Field{"n", Int64}, 3)
+	b.SetInt64(0, 10)
+	b.SetInt64(2, 30)
+	b.SetNull(1)
+	c := b.Finish()
+	if c.Len() != 3 || c.Int64Value(0) != 10 || c.Int64Value(2) != 30 {
+		t.Error("int values wrong")
+	}
+	if !c.IsNull(1) || c.IsNull(0) {
+		t.Error("nullity wrong")
+	}
+	if c.NullCount() != 1 {
+		t.Errorf("null count = %d", c.NullCount())
+	}
+}
+
+func TestBuilderNoNullsHasNilValidity(t *testing.T) {
+	b := NewBuilder(Field{"n", Int64}, 2)
+	b.SetInt64(0, 1)
+	c := b.Finish()
+	if c.NullCount() != 0 {
+		t.Error("unexpected nulls")
+	}
+	if c.ValidityPacked() != nil {
+		t.Error("all-valid column must have nil validity bitmap")
+	}
+}
+
+func TestBuilderStrings(t *testing.T) {
+	b := NewBuilder(Field{"s", String}, 3)
+	vals := []string{"alpha", "", "gamma"}
+	for i, v := range vals {
+		b.SetStringLength(i, len(v))
+	}
+	b.Seal()
+	for i, v := range vals {
+		copy(b.StringDst(i), v)
+	}
+	c := b.Finish()
+	for i, v := range vals {
+		if string(c.StringValue(i)) != v {
+			t.Errorf("row %d = %q, want %q", i, c.StringValue(i), v)
+		}
+	}
+}
+
+func TestBuilderFinishTwicePanics(t *testing.T) {
+	b := NewBuilder(Field{"n", Int64}, 1)
+	b.Finish()
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic on second Finish")
+		}
+	}()
+	b.Finish()
+}
+
+func TestValidityPacked(t *testing.T) {
+	b := NewBuilder(Field{"n", Int64}, 10)
+	b.SetNull(3)
+	b.SetNull(9)
+	c := b.Finish()
+	packed := c.ValidityPacked()
+	if len(packed) != 2 {
+		t.Fatalf("packed length = %d", len(packed))
+	}
+	for i := 0; i < 10; i++ {
+		bit := packed[i/8]&(1<<(uint(i)%8)) != 0
+		if bit == c.IsNull(i) {
+			t.Errorf("bit %d = %v, null = %v", i, bit, c.IsNull(i))
+		}
+	}
+}
+
+func TestConvenienceConstructors(t *testing.T) {
+	s := FromStrings("s", []string{"a", "bb"})
+	if string(s.StringValue(1)) != "bb" {
+		t.Error("FromStrings broken")
+	}
+	i := FromInt64s("i", []int64{1, 2})
+	if i.Int64Value(1) != 2 {
+		t.Error("FromInt64s broken")
+	}
+	f := FromFloat64s("f", []float64{0.5})
+	if f.Float64Value(0) != 0.5 {
+		t.Error("FromFloat64s broken")
+	}
+}
+
+func TestTable(t *testing.T) {
+	schema := NewSchema(Field{"id", Int64}, Field{"name", String})
+	ids := FromInt64s("id", []int64{1, 2})
+	names := FromStrings("name", []string{"a", "b"})
+	tbl, err := NewTable(schema, []*Column{ids, names}, []bool{false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 2 || tbl.NumColumns() != 2 {
+		t.Error("shape wrong")
+	}
+	if tbl.Rejected(0) || !tbl.Rejected(1) {
+		t.Error("rejected wrong")
+	}
+	if tbl.RejectedCount() != 1 {
+		t.Error("rejected count wrong")
+	}
+	if tbl.DataBytes() <= 0 {
+		t.Error("data bytes must be positive")
+	}
+}
+
+func TestTableErrors(t *testing.T) {
+	schema := NewSchema(Field{"id", Int64})
+	if _, err := NewTable(schema, nil, nil); err == nil {
+		t.Error("want error for column count mismatch")
+	}
+	if _, err := NewTable(schema, []*Column{FromInt64s("id", []int64{1})}, []bool{false, false}); err == nil {
+		t.Error("want error for rejected length mismatch")
+	}
+	schema2 := NewSchema(Field{"a", Int64}, Field{"b", Int64})
+	if _, err := NewTable(schema2, []*Column{FromInt64s("a", []int64{1}), FromInt64s("b", []int64{1, 2})}, nil); err == nil {
+		t.Error("want error for row count mismatch")
+	}
+}
+
+func TestValueStringNull(t *testing.T) {
+	b := NewBuilder(Field{"n", Int64}, 1)
+	b.SetNull(0)
+	c := b.Finish()
+	if c.ValueString(0) != "NULL" {
+		t.Errorf("null renders as %q", c.ValueString(0))
+	}
+}
+
+func TestConcat(t *testing.T) {
+	schema := NewSchema(Field{"id", Int64}, Field{"s", String})
+	mk := func(ids []int64, ss []string) *Table {
+		tbl, err := NewTable(schema, []*Column{FromInt64s("id", ids), FromStrings("s", ss)}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tbl
+	}
+	t1 := mk([]int64{1, 2}, []string{"a", "b"})
+	t2 := mk([]int64{3}, []string{"c"})
+	got, err := Concat(t1, t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 3 {
+		t.Fatalf("rows = %d", got.NumRows())
+	}
+	if got.Column(0).Int64Value(2) != 3 || string(got.Column(1).StringValue(2)) != "c" {
+		t.Error("concatenated values wrong")
+	}
+	// Single table short-circuits.
+	same, err := Concat(t1)
+	if err != nil || same != t1 {
+		t.Error("single-table concat must return the input")
+	}
+	if _, err := Concat(); err == nil {
+		t.Error("want error for empty concat")
+	}
+}
+
+func TestConcatWithNullsAndRejects(t *testing.T) {
+	schema := NewSchema(Field{"n", Float64})
+	b1 := NewBuilder(Field{"n", Float64}, 2)
+	b1.SetFloat64(0, 1.5)
+	b1.SetNull(1)
+	t1, _ := NewTable(schema, []*Column{b1.Finish()}, []bool{false, true})
+	b2 := NewBuilder(Field{"n", Float64}, 1)
+	b2.SetFloat64(0, 2.5)
+	t2, _ := NewTable(schema, []*Column{b2.Finish()}, nil)
+	got, err := Concat(t1, t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Column(0).IsNull(1) || got.Column(0).IsNull(2) {
+		t.Error("null propagation wrong")
+	}
+	if !got.Rejected(1) || got.Rejected(0) || got.Rejected(2) {
+		t.Error("reject propagation wrong")
+	}
+}
+
+func TestConcatSchemaMismatch(t *testing.T) {
+	s1 := NewSchema(Field{"a", Int64})
+	s2 := NewSchema(Field{"a", Float64})
+	t1, _ := NewTable(s1, []*Column{FromInt64s("a", []int64{1})}, nil)
+	t2, _ := NewTable(s2, []*Column{FromFloat64s("a", []float64{1})}, nil)
+	if _, err := Concat(t1, t2); err == nil {
+		t.Error("want error for schema mismatch")
+	}
+}

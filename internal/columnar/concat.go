@@ -1,0 +1,88 @@
+package columnar
+
+import "fmt"
+
+// Concat vertically concatenates tables with identical schemas into one
+// table. The streaming pipeline (§4.4) produces one table per partition;
+// Concat reassembles the full result.
+func Concat(tables ...*Table) (*Table, error) {
+	if len(tables) == 0 {
+		return nil, fmt.Errorf("columnar: nothing to concatenate")
+	}
+	if len(tables) == 1 {
+		return tables[0], nil
+	}
+	schema := tables[0].Schema()
+	for i, t := range tables[1:] {
+		if t.Schema().String() != schema.String() {
+			return nil, fmt.Errorf("columnar: schema mismatch at table %d: %v vs %v", i+1, t.Schema(), schema)
+		}
+	}
+	total := 0
+	anyReject := false
+	for _, t := range tables {
+		total += t.NumRows()
+		if t.rejected != nil {
+			anyReject = true
+		}
+	}
+	cols := make([]*Column, schema.NumColumns())
+	for c := range cols {
+		col, err := concatColumns(schema.Fields[c], tables, c, total)
+		if err != nil {
+			return nil, err
+		}
+		cols[c] = col
+	}
+	var rejected []bool
+	if anyReject {
+		rejected = make([]bool, 0, total)
+		for _, t := range tables {
+			for r := 0; r < t.NumRows(); r++ {
+				rejected = append(rejected, t.Rejected(r))
+			}
+		}
+	}
+	return NewTable(schema, cols, rejected)
+}
+
+func concatColumns(f Field, tables []*Table, c, total int) (*Column, error) {
+	b := NewBuilder(f, total)
+	row := 0
+	if f.Type == String {
+		for _, t := range tables {
+			col := t.Column(c)
+			for r := 0; r < col.Len(); r++ {
+				b.SetStringLength(row+r, len(col.StringValue(r)))
+			}
+			row += col.Len()
+		}
+		b.Seal()
+		row = 0
+	}
+	for _, t := range tables {
+		col := t.Column(c)
+		if col.Field().Type != f.Type {
+			return nil, fmt.Errorf("columnar: column %d type mismatch: %v vs %v", c, col.Field().Type, f.Type)
+		}
+		for r := 0; r < col.Len(); r++ {
+			i := row + r
+			if col.IsNull(r) {
+				b.SetNull(i)
+				continue
+			}
+			switch f.Type {
+			case String:
+				copy(b.StringDst(i), col.StringValue(r))
+			case Float64:
+				b.SetFloat64(i, col.Float64Value(r))
+			case Bool:
+				b.SetBool(i, col.BoolValue(r))
+			default:
+				b.SetInt64(i, col.Int64Value(r))
+			}
+		}
+		row += col.Len()
+	}
+	return b.Finish(), nil
+}

@@ -1,0 +1,138 @@
+package convert
+
+import (
+	"repro/internal/columnar"
+	"repro/internal/css"
+	"repro/internal/device"
+)
+
+// Class is an element of the type-inference lattice (§4.3): every field
+// is classified with the minimum type able to back its value, and a
+// parallel reduction over a column's classes yields the column's inferred
+// type. The paper covers numerical types and notes temporal types as an
+// extension; this implementation includes both.
+type Class uint8
+
+const (
+	// ClassEmpty is the bottom element: an empty field constrains nothing.
+	ClassEmpty Class = iota
+	// ClassBool fits true/false spellings.
+	ClassBool
+	// ClassInt64 fits decimal integers.
+	ClassInt64
+	// ClassFloat64 fits decimal numbers.
+	ClassFloat64
+	// ClassDate fits YYYY-MM-DD.
+	ClassDate
+	// ClassTimestamp fits YYYY-MM-DD HH:MM:SS[.ffffff].
+	ClassTimestamp
+	// ClassString is the top element: anything.
+	ClassString
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassEmpty:
+		return "empty"
+	case ClassBool:
+		return "bool"
+	case ClassInt64:
+		return "int64"
+	case ClassFloat64:
+		return "float64"
+	case ClassDate:
+		return "date"
+	case ClassTimestamp:
+		return "timestamp"
+	default:
+		return "string"
+	}
+}
+
+// Classify returns the minimal class able to back the field value.
+func Classify(b []byte) Class {
+	if len(b) == 0 {
+		return ClassEmpty
+	}
+	if _, err := ParseInt64(b); err == nil {
+		return ClassInt64
+	}
+	if _, err := ParseFloat64(b); err == nil {
+		return ClassFloat64
+	}
+	if _, err := ParseBool(b); err == nil {
+		return ClassBool
+	}
+	if len(b) == 10 {
+		if _, err := ParseDate32(b); err == nil {
+			return ClassDate
+		}
+	}
+	if len(b) >= 19 {
+		if _, err := ParseTimestampMicros(b); err == nil {
+			return ClassTimestamp
+		}
+	}
+	return ClassString
+}
+
+// Unify is the lattice join: the minimal class covering both operands.
+// It is associative and commutative, so it is a valid reduction operator.
+func Unify(a, b Class) Class {
+	if a == b {
+		return a
+	}
+	if a == ClassEmpty {
+		return b
+	}
+	if b == ClassEmpty {
+		return a
+	}
+	// Numeric chain.
+	if isNumeric(a) && isNumeric(b) {
+		if a == ClassFloat64 || b == ClassFloat64 {
+			return ClassFloat64
+		}
+		return ClassInt64
+	}
+	// Temporal chain: dates widen to timestamps.
+	if isTemporal(a) && isTemporal(b) {
+		return ClassTimestamp
+	}
+	return ClassString
+}
+
+func isNumeric(c Class) bool  { return c == ClassInt64 || c == ClassFloat64 }
+func isTemporal(c Class) bool { return c == ClassDate || c == ClassTimestamp }
+
+// Type maps an inferred class to the columnar type backing it. An
+// all-empty (or empty-input) column materialises as String.
+func (c Class) Type() columnar.Type {
+	switch c {
+	case ClassBool:
+		return columnar.Bool
+	case ClassInt64:
+		return columnar.Int64
+	case ClassFloat64:
+		return columnar.Float64
+	case ClassDate:
+		return columnar.Date32
+	case ClassTimestamp:
+		return columnar.TimestampMicros
+	default:
+		return columnar.String
+	}
+}
+
+// InferColumn classifies every field of the column's CSS in parallel and
+// reduces the classes to the column's inferred type (§4.3): "During an
+// initial pass over the column's symbols, threads identify the minimum
+// numerical type being required to back their field value. A subsequent
+// parallel reduction over the minimum type yields the inferred type."
+func InferColumn(d *device.Device, phase string, col *css.Column, ix *css.Index) Class {
+	n := ix.NumFields()
+	return device.Reduce(d, phase, n, ClassEmpty, func(k int) Class {
+		start, end := ix.Field(k)
+		return Classify(col.Data[start:end])
+	}, Unify)
+}

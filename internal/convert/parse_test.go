@@ -1,0 +1,200 @@
+package convert
+
+import (
+	"math"
+	"strconv"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestParseInt64(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		err  error
+	}{
+		{"0", 0, nil},
+		{"1941", 1941, nil},
+		{"-7", -7, nil},
+		{"+42", 42, nil},
+		{"9223372036854775807", math.MaxInt64, nil},
+		{"-9223372036854775808", math.MinInt64, nil},
+		{"9223372036854775808", 0, ErrOverflow},
+		{"-9223372036854775809", 0, ErrOverflow},
+		{"", 0, ErrEmpty},
+		{"-", 0, ErrSyntax},
+		{"12a", 0, ErrSyntax},
+		{"1.5", 0, ErrSyntax},
+		{" 1", 0, ErrSyntax},
+	}
+	for _, c := range cases {
+		got, err := ParseInt64([]byte(c.in))
+		if err != c.err {
+			t.Errorf("ParseInt64(%q) err = %v, want %v", c.in, err, c.err)
+			continue
+		}
+		if err == nil && got != c.want {
+			t.Errorf("ParseInt64(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseInt64QuickAgainstStrconv(t *testing.T) {
+	f := func(v int64) bool {
+		got, err := ParseInt64([]byte(strconv.FormatInt(v, 10)))
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseFloat64(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+	}{
+		{"0", 0},
+		{"199.99", 199.99},
+		{"-19.5", -19.5},
+		{"1e3", 1000},
+		{"-1.5e-2", -0.015},
+		{"+2.5E4", 25000},
+		{".5", 0.5},
+		{"5.", 5},
+		{"12345678901234", 12345678901234},
+	}
+	for _, c := range cases {
+		got, err := ParseFloat64([]byte(c.in))
+		if err != nil {
+			t.Errorf("ParseFloat64(%q) err = %v", c.in, err)
+			continue
+		}
+		if math.Abs(got-c.want) > math.Abs(c.want)*1e-12 {
+			t.Errorf("ParseFloat64(%q) = %g, want %g", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", ".", "-", "1e", "1e+", "abc", "1.2.3", "--1", "1 "} {
+		if _, err := ParseFloat64([]byte(bad)); err == nil {
+			t.Errorf("ParseFloat64(%q): want error", bad)
+		}
+	}
+}
+
+func TestParseFloat64QuickAgainstStrconv(t *testing.T) {
+	f := func(mantissa int32, exp int8) bool {
+		s := strconv.FormatFloat(float64(mantissa)*math.Pow(10, float64(exp%30)), 'f', -1, 64)
+		want, _ := strconv.ParseFloat(s, 64)
+		got, err := ParseFloat64([]byte(s))
+		if err != nil {
+			return false
+		}
+		if want == 0 {
+			return got == 0
+		}
+		return math.Abs(got-want) <= math.Abs(want)*1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseBool(t *testing.T) {
+	trues := []string{"1", "t", "T", "true", "True", "TRUE"}
+	falses := []string{"0", "f", "F", "false", "False", "FALSE"}
+	for _, s := range trues {
+		if v, err := ParseBool([]byte(s)); err != nil || !v {
+			t.Errorf("ParseBool(%q) = %v, %v", s, v, err)
+		}
+	}
+	for _, s := range falses {
+		if v, err := ParseBool([]byte(s)); err != nil || v {
+			t.Errorf("ParseBool(%q) = %v, %v", s, v, err)
+		}
+	}
+	for _, s := range []string{"", "yes", "2", "truee", "fals"} {
+		if _, err := ParseBool([]byte(s)); err == nil {
+			t.Errorf("ParseBool(%q): want error", s)
+		}
+	}
+}
+
+func TestParseDate32AgainstTime(t *testing.T) {
+	dates := []string{
+		"1970-01-01", "1970-01-02", "1969-12-31", "2000-02-29",
+		"2018-06-15", "1900-01-01", "2100-12-31", "0001-01-01",
+	}
+	for _, s := range dates {
+		want, err := time.Parse("2006-01-02", s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, perr := ParseDate32([]byte(s))
+		if perr != nil {
+			t.Errorf("ParseDate32(%q): %v", s, perr)
+			continue
+		}
+		wantDays := want.Unix() / 86400
+		if want.Unix() < 0 && want.Unix()%86400 != 0 {
+			wantDays--
+		}
+		if got != wantDays {
+			t.Errorf("ParseDate32(%q) = %d, want %d", s, got, wantDays)
+		}
+	}
+	for _, bad := range []string{"", "2018-6-15", "2018/06/15", "2018-13-01", "2018-02-30", "201a-01-01", "2018-01-001"} {
+		if _, err := ParseDate32([]byte(bad)); err == nil {
+			t.Errorf("ParseDate32(%q): want error", bad)
+		}
+	}
+}
+
+func TestParseTimestampMicrosAgainstTime(t *testing.T) {
+	cases := []string{
+		"2018-06-15 13:45:09",
+		"2018-06-15T13:45:09",
+		"1970-01-01 00:00:00",
+		"1969-12-31 23:59:59",
+		"2018-06-15 13:45:09.5",
+		"2018-06-15 13:45:09.123456",
+	}
+	for _, s := range cases {
+		layout := "2006-01-02 15:04:05"
+		norm := s
+		if s[10] == 'T' {
+			norm = s[:10] + " " + s[11:]
+		}
+		if len(norm) > 19 {
+			layout = "2006-01-02 15:04:05.999999"
+		}
+		want, err := time.Parse(layout, norm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, perr := ParseTimestampMicros([]byte(s))
+		if perr != nil {
+			t.Errorf("ParseTimestampMicros(%q): %v", s, perr)
+			continue
+		}
+		if got != want.UnixMicro() {
+			t.Errorf("ParseTimestampMicros(%q) = %d, want %d", s, got, want.UnixMicro())
+		}
+	}
+	for _, bad := range []string{"", "2018-06-15", "2018-06-15 25:00:00", "2018-06-15 13:45", "2018-06-15 13:45:09.", "2018-06-15 13:45:09.1234567"} {
+		if _, err := ParseTimestampMicros([]byte(bad)); err == nil {
+			t.Errorf("ParseTimestampMicros(%q): want error", bad)
+		}
+	}
+}
+
+func TestFormatError(t *testing.T) {
+	err := FormatError(3, 42, []byte("abcdefghijklmnopqrstuvwxyz0123456789"), ErrSyntax)
+	if err == nil {
+		t.Fatal("nil error")
+	}
+	msg := err.Error()
+	if len(msg) == 0 {
+		t.Error("empty message")
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dfa"
+)
+
+// pruneRows drops the first skip rows of input. Rows are raw lines split
+// at the machine's record-delimiter byte without parsing context, which
+// is the paper's distinction between rows and records (§4.3 "Skipping
+// rows": "rows are different from records, as some records may span
+// multiple rows"); that is why the pruning happens in an initial pass
+// before the pipeline, where context is not yet known.
+func pruneRows(input []byte, m *dfa.Machine, skip int) []byte {
+	delim := recordDelimByte(m)
+	for skip > 0 && len(input) > 0 {
+		cut := indexByte(input, delim)
+		if cut < 0 {
+			return nil
+		}
+		input = input[cut+1:]
+		skip--
+	}
+	return input
+}
+
+// splitHeader consumes the input's first record — with full parsing
+// context, so quoted headers containing delimiters work — and returns the
+// field names plus the remaining input.
+func splitHeader(m *dfa.Machine, input []byte) (names []string, rest []byte, err error) {
+	s := m.Start()
+	var cur []byte
+	for i := 0; i < len(input); i++ {
+		g := m.Group(input[i])
+		e := m.Emission(s, g)
+		switch {
+		case e.IsRecordDelim():
+			names = append(names, string(cur))
+			return names, input[i+1:], nil
+		case e.IsFieldDelim():
+			names = append(names, string(cur))
+			cur = nil
+		case e.IsData():
+			cur = append(cur, input[i])
+		}
+		s = m.NextByGroup(s, g)
+		if m.IsInvalid(s) {
+			return nil, nil, fmt.Errorf("core: invalid header at byte %d", i)
+		}
+	}
+	// Header without trailing record delimiter: the whole input was the
+	// header.
+	if len(cur) > 0 || len(names) > 0 {
+		names = append(names, string(cur))
+	}
+	return names, nil, nil
+}
+
+// recordDelimByte returns the byte of the machine's first symbol group,
+// which all machines built by this package declare as the record
+// delimiter.
+func recordDelimByte(m *dfa.Machine) byte {
+	syms := m.Symbols()
+	if len(syms) == 0 {
+		return '\n'
+	}
+	return syms[0]
+}
+
+func indexByte(b []byte, c byte) int {
+	for i, x := range b {
+		if x == c {
+			return i
+		}
+	}
+	return -1
+}

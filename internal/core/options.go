@@ -1,0 +1,180 @@
+// Package core orchestrates ParPaRaw's full parsing pipeline (§3):
+//
+//	parse     multi-DFA state-transition vectors per chunk, then a single
+//	          DFA pass emitting the record/field/control bitmap indexes
+//	scan      composite exclusive scan over the vectors (start states) and
+//	          the record/column offset scans
+//	tag       writing per-symbol column tags plus, depending on the
+//	          tagging mode, record tags, inline terminators, or the
+//	          delimiter vector
+//	partition stable radix scatter of the symbols into per-column
+//	          concatenated symbol strings
+//	convert   CSS index construction and typed columnar materialisation
+//
+// These five phase names match the series of Figure 9 and Figure 11.
+package core
+
+import (
+	"time"
+
+	"repro/internal/columnar"
+	"repro/internal/css"
+	"repro/internal/device"
+	"repro/internal/dfa"
+	"repro/internal/utfx"
+)
+
+// DefaultChunkSize is 31 bytes per chunk, the best-performing
+// configuration of the paper's evaluation (§5.1: "The best performance is
+// achieved for 31 bytes per chunk").
+const DefaultChunkSize = 31
+
+// Options configure a parse run. The zero value parses RFC 4180 CSV with
+// inferred types on a default device.
+type Options struct {
+	// Machine is the parsing-rules DFA. Nil uses dfa.RFC4180().
+	Machine *dfa.Machine
+	// Device executes the data-parallel kernels. Nil uses a process-wide
+	// default device.
+	Device *device.Device
+	// ChunkSize is the bytes per chunk (Figure 9's x-axis). 0 means
+	// DefaultChunkSize.
+	ChunkSize int
+	// Mode selects the tagging representation (§4.1). RecordTagged (the
+	// zero value) is robust to records with varying column counts;
+	// InlineTerminated and VectorDelimited are the faster specialisations
+	// requiring a consistent column count.
+	Mode css.Mode
+	// Terminator is the in-band terminator byte for InlineTerminated
+	// mode. 0 means css.DefaultTerminator. It must not occur in field
+	// data.
+	Terminator byte
+	// Schema fixes the output schema (names and types). Nil infers types
+	// (§4.3) and names the columns col0..colN.
+	Schema *columnar.Schema
+	// HasHeader consumes the first record as column names. With a nil
+	// Schema, the names come from the header and types are inferred.
+	HasHeader bool
+	// SkipRows prunes the first n rows (raw lines) before parsing, the
+	// initial pruning pass of §4.3 ("Skipping rows"). Rows are split on
+	// the machine's record-delimiter byte without context, which is the
+	// paper's definition of a row (as opposed to a record).
+	SkipRows int
+	// SelectColumns keeps only the listed column indices (in the given
+	// order) and marks all other symbols irrelevant before partitioning
+	// (§4.3 "Skipping records and selecting columns"). Nil keeps all.
+	SelectColumns []int
+	// SkipRecords drops the listed record indices (0-based, pre-skip
+	// numbering, sorted ascending) from the output.
+	SkipRecords []int64
+	// ExpectedColumns fixes the input's column count. 0 infers it from
+	// the input (§4.3 "Inferring or validating number of columns").
+	ExpectedColumns int
+	// RejectInconsistent marks records whose column count deviates from
+	// the expected/inferred count as rejected instead of padding or
+	// truncating them.
+	RejectInconsistent bool
+	// RejectMalformed marks records with unparseable field values as
+	// rejected; otherwise such fields become NULL.
+	RejectMalformed bool
+	// DefaultValues maps column index to the textual default applied to
+	// empty fields (§4.3 "Default values for empty strings").
+	DefaultValues map[int]string
+	// Validate fails the parse when the DFA detects invalid input or a
+	// non-accepting end state (§4.3 "Validating format"). When false,
+	// Result.Stats.InvalidInput records the condition instead.
+	Validate bool
+	// MatchStrategy selects SWAR or table-based symbol matching.
+	MatchStrategy dfa.MatchStrategy
+	// Trailing controls what happens to input after the last record
+	// delimiter. TrailingRecord (default) parses it as one final record;
+	// TrailingRemainder excludes it and reports its size in
+	// Result.Remainder — the carry-over contract of the streaming
+	// pipeline (§4.4).
+	Trailing TrailingMode
+	// Encoding declares the input's symbol encoding (§4.2). ASCII and
+	// UTF8 inputs parse directly (multi-byte UTF-8 sequences are plain
+	// data bytes for formats whose control symbols are ASCII); UTF16LE
+	// and UTF16BE inputs are transcoded to UTF-8 on the device first,
+	// charged to the "transcode" phase.
+	Encoding utfx.Encoding
+	// DetectEncoding sniffs a byte-order mark, sets Encoding
+	// accordingly, and strips the BOM.
+	DetectEncoding bool
+}
+
+// TrailingMode selects the treatment of bytes after the last record
+// delimiter.
+type TrailingMode int
+
+const (
+	// TrailingRecord treats the unterminated tail as the final record.
+	TrailingRecord TrailingMode = iota
+	// TrailingRemainder excludes the tail and reports it via
+	// Result.Remainder, for prepending to the next streaming partition.
+	TrailingRemainder
+)
+
+func (o Options) withDefaults() Options {
+	if o.Machine == nil {
+		o.Machine = defaultMachine
+	}
+	o.Machine = o.Machine.SetMatchStrategy(o.MatchStrategy)
+	if o.Device == nil {
+		o.Device = defaultDevice
+	}
+	if o.ChunkSize <= 0 {
+		o.ChunkSize = DefaultChunkSize
+	}
+	if o.Terminator == 0 {
+		o.Terminator = css.DefaultTerminator
+	}
+	return o
+}
+
+var (
+	defaultMachine = dfa.RFC4180()
+	defaultDevice  = device.Default()
+)
+
+// Stats describes one parse run.
+type Stats struct {
+	// InputBytes is the byte count actually parsed (after row skipping
+	// and header consumption).
+	InputBytes int64
+	// Chunks is the number of data-parallel chunks.
+	Chunks int
+	// Records is the number of output records.
+	Records int64
+	// Columns is the number of output columns.
+	Columns int
+	// MinColumns and MaxColumns are the observed per-record column
+	// counts before selection (§4.3 inference/validation).
+	MinColumns, MaxColumns int
+	// InvalidInput reports that the DFA saw an invalid transition or a
+	// non-accepting end state (only set when Options.Validate is false;
+	// with Validate the parse fails instead).
+	InvalidInput bool
+	// Phases holds the per-phase device time of this run (Figure 9's
+	// breakdown): parse, scan, tag, partition, convert.
+	Phases map[string]time.Duration
+	// Duration is the wall-clock time of the run.
+	Duration time.Duration
+}
+
+// PhaseNames lists the pipeline phases in execution order.
+var PhaseNames = []string{"parse", "scan", "tag", "partition", "convert"}
+
+// Result is a completed parse.
+type Result struct {
+	// Table is the columnar output.
+	Table *columnar.Table
+	// Header holds the column names consumed from the input's header
+	// record, when Options.HasHeader was set.
+	Header []string
+	// Remainder is the number of trailing input bytes not covered by a
+	// complete record (only with Options.Trailing == TrailingRemainder).
+	Remainder int
+	// Stats describes the run.
+	Stats Stats
+}

@@ -1,0 +1,403 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+
+	"repro/internal/columnar"
+	"repro/internal/convert"
+	"repro/internal/css"
+	"repro/internal/offsets"
+	"repro/internal/radix"
+	"repro/internal/scan"
+	"repro/internal/statevec"
+	"repro/internal/transcode"
+	"repro/internal/utfx"
+)
+
+// Parse runs the full ParPaRaw pipeline over input and returns the
+// columnar result.
+func Parse(input []byte, opts Options) (*Result, error) {
+	o := opts.withDefaults()
+	start := time.Now()
+	before := o.Device.Timers().Snapshot()
+
+	var header []string
+	body := input
+	if o.DetectEncoding {
+		enc, skip := transcode.DetectEncoding(body)
+		o.Encoding = enc
+		body = body[skip:]
+	}
+	switch o.Encoding {
+	case utfx.UTF16LE:
+		body = transcode.UTF16ToUTF8(o.Device, "transcode", body, false)
+	case utfx.UTF16BE:
+		body = transcode.UTF16ToUTF8(o.Device, "transcode", body, true)
+	}
+	if o.SkipRows > 0 {
+		body = pruneRows(body, o.Machine, o.SkipRows)
+	}
+	if o.HasHeader {
+		var err error
+		header, body, err = splitHeader(o.Machine, body)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	p := &pipeline{Options: o, input: body, headerNames: header}
+	table, err := p.run()
+	if err != nil {
+		return nil, err
+	}
+
+	stats := p.stats
+	stats.Duration = time.Since(start)
+	stats.Phases = phaseDelta(before, o.Device.Timers().Snapshot())
+	return &Result{Table: table, Header: header, Remainder: p.remainder, Stats: stats}, nil
+}
+
+func phaseDelta(before, after map[string]time.Duration) map[string]time.Duration {
+	out := make(map[string]time.Duration, len(PhaseNames))
+	for _, p := range PhaseNames {
+		out[p] = after[p] - before[p]
+	}
+	// Optional phases (e.g. "transcode") appear only when they ran.
+	for p, d := range after {
+		if _, core := out[p]; !core && d > before[p] {
+			out[p] = d - before[p]
+		}
+	}
+	return out
+}
+
+// pipeline carries the intermediate state of one parse run.
+type pipeline struct {
+	Options
+	input       []byte
+	headerNames []string
+	stats       Stats
+
+	chunks     int
+	startState []uint8
+	endState   uint8
+	trailing   bool
+	remainder  int
+
+	bitmaps *bitmaps
+	meta    []chunkMeta
+
+	recBase  []int64
+	colBase  []offsets.ColumnOffset
+	colTotal offsets.ColumnOffset
+
+	numRecords    int64 // records including skipped ones
+	numOutRecords int64
+	numColumns    int // columns before selection
+	selected      []int
+	colMap        []uint32 // input column -> output column or sentinel
+	sentinel      uint32
+
+	tags *tagBuffers
+}
+
+func (p *pipeline) run() (*columnar.Table, error) {
+	n := len(p.input)
+	p.stats.InputBytes = int64(n)
+	d := p.Device
+	m := p.Machine
+
+	// --- parse: per-chunk state-transition vectors (§3.1, Figure 3).
+	p.chunks = (n + p.ChunkSize - 1) / p.ChunkSize
+	p.stats.Chunks = p.chunks
+	vectors := make([]statevec.Vector, p.chunks)
+	d.Launch("parse", p.chunks, func(c int) {
+		lo, hi := p.chunkBounds(c)
+		vectors[c] = m.ChunkVector(p.input[lo:hi])
+	})
+
+	// --- scan: composite exclusive scan yields every chunk's start state.
+	scanned := make([]statevec.Vector, p.chunks)
+	total := statevec.ExclusiveScan(d, "scan", m.NumStates(), vectors, scanned)
+	p.startState = make([]uint8, p.chunks)
+	d.Launch("scan", p.chunks, func(c int) {
+		p.startState[c] = scanned[c][m.Start()]
+	})
+	p.endState = total[m.Start()]
+	if n == 0 {
+		p.endState = m.Start()
+	}
+	// In remainder mode a non-accepting end state is expected (the tail
+	// will be re-parsed with the next partition); only the invalid sink
+	// is a hard failure.
+	invalid := m.IsInvalid(p.endState) ||
+		(!m.Accepting(p.endState) && p.Trailing == TrailingRecord)
+	if invalid {
+		if p.Validate {
+			return nil, fmt.Errorf("core: invalid input: DFA ends in state %q", m.StateName(p.endState))
+		}
+		p.stats.InvalidInput = true
+	}
+	p.trailing = n > 0 && m.MidRecord(p.endState) && p.Trailing == TrailingRecord
+
+	// --- parse (second kernel): single-DFA emission pass producing the
+	// three bitmap indexes and per-chunk offsets metadata (§3.1-3.2).
+	p.emitBitmaps()
+	if p.Trailing == TrailingRemainder {
+		if last, ok := p.bitmaps.record.LastSetInRange(0, n); ok {
+			p.remainder = n - last - 1
+		} else {
+			p.remainder = n
+		}
+	}
+
+	// --- scan: record and column offset scans (§3.2, Figure 4).
+	recCounts := make([]int64, p.chunks)
+	colOffs := make([]offsets.ColumnOffset, p.chunks)
+	for c, cm := range p.meta {
+		recCounts[c] = cm.recCount
+		colOffs[c] = cm.colOff
+	}
+	p.recBase = make([]int64, p.chunks)
+	totalRecs := scan.Exclusive(d, "scan", scan.Sum[int64](), recCounts, p.recBase)
+	p.colBase = make([]offsets.ColumnOffset, p.chunks)
+	p.colTotal = offsets.ExclusiveColumnScan(d, "scan", colOffs, p.colBase)
+
+	p.numRecords = totalRecs
+	if p.trailing {
+		p.numRecords++
+	}
+	if err := p.resolveColumns(); err != nil {
+		return nil, err
+	}
+	if err := p.resolveSelection(); err != nil {
+		return nil, err
+	}
+	p.numOutRecords = p.numRecords - int64(countBelow(p.SkipRecords, p.numRecords))
+	p.stats.Records = p.numOutRecords
+	p.stats.Columns = len(p.selected)
+
+	if p.numOutRecords == 0 || len(p.selected) == 0 {
+		return p.emptyTable()
+	}
+	if p.numOutRecords > int64(^uint32(0)) {
+		return nil, fmt.Errorf("core: %d records exceed the 32-bit record-tag space", p.numOutRecords)
+	}
+
+	// --- tag: per-symbol column tags plus mode-specific metadata (§3.2
+	// bottom, §4.1).
+	rejected := p.tagSymbols()
+
+	// --- partition: stable radix scatter into per-column CSSs (§3.3).
+	keys := p.tags.colTags
+	keyBits := bits.Len32(p.sentinel)
+	perm := radix.SortPermutation(d, "partition", keys, keyBits)
+	numKeys := int(p.sentinel) + 1
+	hist := radix.HistogramKeys(d, "partition", keys, numKeys)
+
+	symSrc := p.input
+	if p.Mode == css.InlineTerminated {
+		symSrc = p.tags.rewrite
+	}
+	sortedSyms := make([]byte, n)
+	radix.Gather(d, "partition", sortedSyms, symSrc, perm)
+	var sortedRecs []uint32
+	if p.Mode == css.RecordTagged {
+		sortedRecs = make([]uint32, n)
+		radix.Gather(d, "partition", sortedRecs, p.tags.recTags, perm)
+	}
+	var sortedAux []bool
+	if p.Mode == css.VectorDelimited {
+		sortedAux = make([]bool, n)
+		radix.Gather(d, "partition", sortedAux, p.tags.aux, perm)
+	}
+	p.tags = nil // tag buffers and permutation are dead after the scatter
+
+	colStart := make([]int64, numKeys)
+	scan.Sequential(scan.Sum[int64](), hist, colStart, false)
+
+	// --- convert: per-column CSS index and typed materialisation (§3.3).
+	outFields := p.outputFields(p.headerNames)
+	columns := make([]*columnar.Column, len(p.selected))
+	for out, orig := range p.selected {
+		lo, hi := colStart[out], colStart[out]+hist[out]
+		cssCol := &css.Column{
+			Mode:       p.Mode,
+			Data:       sortedSyms[lo:hi],
+			Terminator: p.Terminator,
+		}
+		if sortedRecs != nil {
+			cssCol.RecTags = sortedRecs[lo:hi]
+		}
+		if sortedAux != nil {
+			cssCol.Aux = sortedAux[lo:hi]
+		}
+		ix, err := cssCol.BuildIndex(d, "convert", int(p.numOutRecords))
+		if err != nil {
+			return nil, err
+		}
+		if err := p.alignIndex(cssCol, ix, out); err != nil {
+			return nil, err
+		}
+		field := outFields[out]
+		if p.Schema == nil {
+			field.Type = convert.InferColumn(d, "convert", cssCol, ix).Type()
+			outFields[out] = field
+		}
+		pol := convert.Policy{RejectOnError: p.RejectMalformed}
+		if def, ok := p.DefaultValues[orig]; ok {
+			pol.Default = []byte(def)
+		}
+		col, err := convert.Materialize(d, "convert", cssCol, ix, field, pol, rejected)
+		if err != nil {
+			return nil, err
+		}
+		columns[out] = col
+	}
+
+	if !anyTrue(rejected) {
+		rejected = nil
+	}
+	return columnar.NewTable(columnar.NewSchema(outFields...), columns, rejected)
+}
+
+func (p *pipeline) chunkBounds(c int) (lo, hi int) {
+	lo = c * p.ChunkSize
+	hi = lo + p.ChunkSize
+	if hi > len(p.input) {
+		hi = len(p.input)
+	}
+	return lo, hi
+}
+
+// resolveColumns determines the input's column count and the observed
+// min/max (§4.3): per-chunk relative min/max resolved with the column
+// offsets, plus the trailing record.
+func (p *pipeline) resolveColumns() error {
+	var mm offsets.MinMax
+	for c, cm := range p.meta {
+		if cm.sawRec {
+			mm.Observe(p.colBase[c].Value + cm.relFirst + 1)
+		}
+		mm.Merge(cm.mm)
+	}
+	if p.trailing {
+		mm.Observe(p.colTotal.Value + 1)
+	}
+	if mm.Valid {
+		p.stats.MinColumns, p.stats.MaxColumns = mm.Min, mm.Max
+	}
+	switch {
+	case p.ExpectedColumns > 0:
+		p.numColumns = p.ExpectedColumns
+	case p.Schema != nil:
+		p.numColumns = p.Schema.NumColumns()
+	default:
+		p.numColumns = mm.Max
+	}
+	if p.Mode != css.RecordTagged && mm.Valid && (mm.Min != mm.Max || mm.Max != p.numColumns) {
+		return fmt.Errorf("core: %v mode requires a constant column count; observed %d..%d, expected %d (use RecordTagged for ragged inputs)",
+			p.Mode, mm.Min, mm.Max, p.numColumns)
+	}
+	return nil
+}
+
+// resolveSelection validates SelectColumns and builds the input-column →
+// output-column map, with the sentinel key for irrelevant symbols.
+func (p *pipeline) resolveSelection() error {
+	if p.SelectColumns == nil {
+		p.selected = make([]int, p.numColumns)
+		for i := range p.selected {
+			p.selected[i] = i
+		}
+	} else {
+		p.selected = p.SelectColumns
+	}
+	p.sentinel = uint32(len(p.selected))
+	p.colMap = make([]uint32, p.numColumns)
+	for i := range p.colMap {
+		p.colMap[i] = p.sentinel
+	}
+	for out, orig := range p.selected {
+		if orig < 0 || orig >= p.numColumns {
+			return fmt.Errorf("core: selected column %d outside input's %d columns", orig, p.numColumns)
+		}
+		if p.colMap[orig] != p.sentinel {
+			return fmt.Errorf("core: column %d selected twice", orig)
+		}
+		p.colMap[orig] = uint32(out)
+	}
+	for i, s := range p.SkipRecords {
+		if i > 0 && p.SkipRecords[i-1] >= s {
+			return fmt.Errorf("core: SkipRecords must be strictly ascending")
+		}
+	}
+	return nil
+}
+
+// alignIndex reconciles the CSS index field count with the output record
+// count. Inline/vector CSSs lose the final empty field when the input's
+// trailing record has no closing delimiter; that one field is restored.
+func (p *pipeline) alignIndex(cssCol *css.Column, ix *css.Index, out int) error {
+	if p.Mode == css.RecordTagged {
+		return nil // indexed by record id directly
+	}
+	want := int(p.numOutRecords)
+	got := ix.NumFields()
+	switch {
+	case got == want:
+		return nil
+	case got == want-1 && p.trailing:
+		ix.Starts = append(ix.Starts, int64(len(cssCol.Data)))
+		ix.Lengths = append(ix.Lengths, 0)
+		return nil
+	default:
+		return fmt.Errorf("core: column %d: %d fields for %d records in %v mode (inconsistent input; use RecordTagged)",
+			out, got, want, p.Mode)
+	}
+}
+
+func (p *pipeline) outputFields(names []string) []columnar.Field {
+	fields := make([]columnar.Field, len(p.selected))
+	for out, orig := range p.selected {
+		f := columnar.Field{Name: fmt.Sprintf("col%d", orig), Type: columnar.String}
+		if p.Schema != nil && orig < p.Schema.NumColumns() {
+			f = p.Schema.Fields[orig]
+		} else if orig < len(names) && names[orig] != "" {
+			f.Name = names[orig]
+		}
+		fields[out] = f
+	}
+	return fields
+}
+
+func (p *pipeline) emptyTable() (*columnar.Table, error) {
+	fields := p.outputFields(p.headerNames)
+	cols := make([]*columnar.Column, len(fields))
+	for i, f := range fields {
+		cols[i] = columnar.NewBuilder(f, int(p.numOutRecords)).Finish()
+	}
+	return columnar.NewTable(columnar.NewSchema(fields...), cols, nil)
+}
+
+// countBelow returns the number of sorted values strictly below limit.
+func countBelow(sorted []int64, limit int64) int {
+	n := 0
+	for _, v := range sorted {
+		if v < limit {
+			n++
+		}
+	}
+	return n
+}
+
+func anyTrue(b []bool) bool {
+	for _, v := range b {
+		if v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/bitmap"
+	"repro/internal/css"
+	"repro/internal/offsets"
+)
+
+// bitmaps are the three bit-per-symbol indexes of §3.1.
+type bitmaps struct {
+	record  *bitmap.Bitmap // symbol delimits a record
+	field   *bitmap.Bitmap // symbol delimits a field
+	control *bitmap.Bitmap // symbol is not part of any field value
+}
+
+// chunkMeta is the per-chunk metadata collected by the emission pass.
+type chunkMeta struct {
+	recCount int64                // record delimiters in the chunk
+	colOff   offsets.ColumnOffset // rel/abs column offset handed to the successor
+	relFirst int                  // field delimiters before the chunk's first record delimiter
+	sawRec   bool                 // chunk contains at least one record delimiter
+	mm       offsets.MinMax       // column counts of records fully inside the chunk
+}
+
+// emitBitmaps is the second half of the parse phase (§3.1): each chunk,
+// now knowing its start state, simulates a single DFA instance and
+// records every symbol's interpretation in the three bitmap indexes.
+// Per-chunk record counts and rel/abs column offsets (§3.2) are collected
+// in the same sweep (the paper derives them from the bitmaps with popc;
+// counting during emission is arithmetically identical and saves a pass).
+func (p *pipeline) emitBitmaps() {
+	n := len(p.input)
+	m := p.Machine
+	p.bitmaps = &bitmaps{
+		record:  bitmap.New(n),
+		field:   bitmap.New(n),
+		control: bitmap.New(n),
+	}
+	p.meta = make([]chunkMeta, p.chunks)
+	p.Device.Launch("parse", p.chunks, func(c int) {
+		lo, hi := p.chunkBounds(c)
+		wr := p.bitmaps.record.NewChunkWriter(lo, hi)
+		wf := p.bitmaps.field.NewChunkWriter(lo, hi)
+		wc := p.bitmaps.control.NewChunkWriter(lo, hi)
+		s := p.startState[c]
+		cm := chunkMeta{}
+		relCol := 0
+		for i := lo; i < hi; i++ {
+			g := m.Group(p.input[i])
+			e := m.Emission(s, g)
+			switch {
+			case e.IsRecordDelim():
+				wr.Set(i)
+				wc.Set(i)
+				cm.recCount++
+				if !cm.sawRec {
+					cm.sawRec = true
+					cm.relFirst = relCol
+				} else {
+					cm.mm.Observe(relCol + 1)
+				}
+				relCol = 0
+			case e.IsFieldDelim():
+				wf.Set(i)
+				wc.Set(i)
+				relCol++
+			case e.IsControl():
+				wc.Set(i)
+			}
+			s = m.NextByGroup(s, g)
+		}
+		wr.Flush()
+		wf.Flush()
+		wc.Flush()
+		if cm.sawRec {
+			cm.colOff = offsets.ColumnOffset{Kind: offsets.Abs, Value: relCol}
+		} else {
+			cm.colOff = offsets.ColumnOffset{Kind: offsets.Rel, Value: relCol}
+		}
+		p.meta[c] = cm
+	})
+}
+
+// tagBuffers hold the per-symbol tag outputs.
+type tagBuffers struct {
+	colTags []uint32 // sort keys; sentinel marks irrelevant symbols
+	recTags []uint32 // RecordTagged only
+	rewrite []byte   // InlineTerminated only: input with delimiters replaced
+	aux     []bool   // VectorDelimited only: delimiter marks
+}
+
+// tagSymbols is the tag phase (§3.2 bottom of Figure 4, §4.1): every
+// symbol is tagged with the output column it belongs to; data symbols of
+// kept columns carry their record tag (or the mode-specific delimiter
+// encoding); everything else gets the sentinel key and is dropped after
+// partitioning. The returned reject vector flags records whose column
+// count deviates from the expected count (when RejectInconsistent).
+func (p *pipeline) tagSymbols() []bool {
+	n := len(p.input)
+	t := &tagBuffers{colTags: make([]uint32, n)}
+	switch p.Mode {
+	case css.RecordTagged:
+		t.recTags = make([]uint32, n)
+	case css.InlineTerminated:
+		t.rewrite = make([]byte, n)
+	case css.VectorDelimited:
+		t.aux = make([]bool, n)
+	}
+	p.tags = t
+
+	var rejected []bool
+	if p.RejectInconsistent || p.RejectMalformed {
+		rejected = make([]bool, p.numOutRecords)
+	}
+	inconsistent := p.RejectInconsistent
+	skip := p.SkipRecords
+	bm := p.bitmaps
+
+	p.Device.Launch("tag", p.chunks, func(c int) {
+		lo, hi := p.chunkBounds(c)
+		rec := p.recBase[c]
+		col := p.colBase[c].Value
+		// skipPtr is the lower bound of rec in the skip list; rec - skipPtr
+		// is the output record index.
+		skipPtr := sort.Search(len(skip), func(i int) bool { return skip[i] >= rec })
+		for i := lo; i < hi; i++ {
+			isRec := bm.record.Get(i)
+			isFld := bm.field.Get(i)
+			// Symbols beyond the last counted record (the remainder in
+			// TrailingRemainder mode) are irrelevant, like skipped records.
+			inSkipList := skipPtr < len(skip) && skip[skipPtr] == rec
+			recSkipped := inSkipList || rec >= p.numRecords
+			outRec := rec - int64(skipPtr)
+			switch {
+			case isRec:
+				p.tagDelimiter(t, i, col, outRec, recSkipped)
+				if inconsistent && !recSkipped && col+1 != p.numColumns {
+					rejected[outRec] = true
+				}
+				rec++
+				col = 0
+				if inSkipList {
+					skipPtr++
+				}
+			case isFld:
+				p.tagDelimiter(t, i, col, outRec, recSkipped)
+				col++
+			case bm.control.Get(i):
+				t.colTags[i] = p.sentinel
+			default:
+				t.colTags[i] = p.mapColumn(col, recSkipped)
+				switch p.Mode {
+				case css.RecordTagged:
+					t.recTags[i] = uint32(outRec)
+				case css.InlineTerminated:
+					t.rewrite[i] = p.input[i]
+				}
+			}
+		}
+	})
+
+	// The trailing record has no closing delimiter, so its column count
+	// is checked against the final column-offset state here.
+	if inconsistent && p.trailing {
+		lastOut := p.numOutRecords - 1
+		lastSkipped := len(skip) > 0 && skip[len(skip)-1] == p.numRecords-1
+		if !lastSkipped && p.colTotal.Value+1 != p.numColumns {
+			rejected[lastOut] = true
+		}
+	}
+	return rejected
+}
+
+// tagDelimiter assigns a field/record delimiter to the column of the
+// field it terminates. In RecordTagged mode delimiters are irrelevant
+// (record association comes from the tags); in the inline mode the
+// delimiter byte is rewritten to the terminator; in the vector mode it
+// stays in the CSS and is marked in the aux vector (§4.1, Figure 6).
+func (p *pipeline) tagDelimiter(t *tagBuffers, i int, col int, outRec int64, recSkipped bool) {
+	switch p.Mode {
+	case css.RecordTagged:
+		t.colTags[i] = p.sentinel
+	case css.InlineTerminated:
+		key := p.mapColumn(col, recSkipped)
+		t.colTags[i] = key
+		t.rewrite[i] = p.Terminator
+	case css.VectorDelimited:
+		key := p.mapColumn(col, recSkipped)
+		t.colTags[i] = key
+		t.aux[i] = key != p.sentinel
+	}
+}
+
+// mapColumn maps an absolute input column to its output sort key,
+// applying column selection, ragged-overflow clamping, and record
+// skipping.
+func (p *pipeline) mapColumn(col int, recSkipped bool) uint32 {
+	if recSkipped || col < 0 || col >= len(p.colMap) {
+		return p.sentinel
+	}
+	return p.colMap[col]
+}

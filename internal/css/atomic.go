@@ -1,0 +1,8 @@
+package css
+
+import "sync/atomic"
+
+// addInt64 accumulates into a shared counter. Only record tags straddling
+// a block boundary can be contended (tags are sorted), so contention is
+// bounded by the block count, not the symbol count.
+func addInt64(p *int64, v int64) { atomic.AddInt64(p, v) }

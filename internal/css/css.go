@@ -1,0 +1,211 @@
+// Package css implements the concatenated symbol string (CSS)
+// representation of §3.3 and the three tagging modes of §4.1 (Figure 6).
+//
+// After partitioning, all symbols of a column lie cohesively in one CSS
+// buffer. To convert field values, the algorithm needs an *index* into
+// the CSS: the offset and length of every field's symbol string. How that
+// index is derived depends on the tagging mode:
+//
+//   - RecordTagged: every symbol carries a 4-byte record tag; a
+//     run-length encoding over the tags plus an exclusive prefix sum over
+//     the run lengths yields per-record offsets. Robust — tolerates
+//     records with varying column counts — but memory-hungry.
+//   - InlineTerminated: field/record delimiters are replaced by a unique
+//     terminator byte inside the CSS (like '\0' for C strings); the index
+//     is the list of terminator positions. Requires the terminator byte
+//     to never occur in field data.
+//   - VectorDelimited: delimiters stay in the CSS, and an auxiliary
+//     boolean vector marks them; the index is the list of marked
+//     positions. No reserved byte needed.
+package css
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/scan"
+)
+
+// Mode selects the tagging representation (§4.1).
+type Mode int
+
+const (
+	// RecordTagged is the robust default: 4-byte record tags per symbol.
+	RecordTagged Mode = iota
+	// InlineTerminated replaces delimiters with Terminator in the CSS.
+	InlineTerminated
+	// VectorDelimited keeps delimiters and marks them in an aux vector.
+	VectorDelimited
+)
+
+func (m Mode) String() string {
+	switch m {
+	case RecordTagged:
+		return "tagged"
+	case InlineTerminated:
+		return "inline"
+	case VectorDelimited:
+		return "delimited"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// DefaultTerminator is the ASCII unit separator (0x1F), one of the two
+// candidates §4.1 recommends (with the record separator 0x1E).
+const DefaultTerminator byte = 0x1F
+
+// Column is one column's CSS plus the mode-specific metadata needed to
+// index it.
+type Column struct {
+	Mode Mode
+	// Data is the concatenated symbol string.
+	Data []byte
+	// RecTags holds one record tag per symbol (RecordTagged mode only).
+	RecTags []uint32
+	// Aux marks delimiter positions in Data (VectorDelimited mode only).
+	Aux []bool
+	// Terminator is the in-band field terminator (InlineTerminated only).
+	Terminator byte
+}
+
+// Index maps fields to their symbol strings inside a CSS: field k spans
+// Data[Starts[k]:Starts[k]+Lengths[k]]. For RecordTagged columns field k
+// *is* record k (empty fields have length 0); for the other two modes
+// field k is the k-th field of the column in record order.
+type Index struct {
+	Starts  []int64
+	Lengths []int64
+}
+
+// NumFields returns the number of indexed fields.
+func (ix *Index) NumFields() int { return len(ix.Starts) }
+
+// Field returns the half-open byte range of field k.
+func (ix *Index) Field(k int) (start, end int64) {
+	return ix.Starts[k], ix.Starts[k] + ix.Lengths[k]
+}
+
+// BuildIndex derives the CSS index for the column on the device,
+// dispatching on the tagging mode. numRecords is required for
+// RecordTagged (tags address into [0, numRecords)) and ignored otherwise.
+// phase attributes the work to a pipeline timer (this is part of the
+// convert step in Figure 9's breakdown).
+func (c *Column) BuildIndex(d *device.Device, phase string, numRecords int) (*Index, error) {
+	switch c.Mode {
+	case RecordTagged:
+		return indexRecordTagged(d, phase, c.Data, c.RecTags, numRecords)
+	case InlineTerminated:
+		return indexByMark(d, phase, len(c.Data), func(i int) bool { return c.Data[i] == c.Terminator })
+	case VectorDelimited:
+		if len(c.Aux) != len(c.Data) {
+			return nil, fmt.Errorf("css: aux vector length %d != data length %d", len(c.Aux), len(c.Data))
+		}
+		return indexByMark(d, phase, len(c.Data), func(i int) bool { return c.Aux[i] })
+	default:
+		return nil, fmt.Errorf("css: unknown mode %v", c.Mode)
+	}
+}
+
+// indexRecordTagged performs the run-length encoding of §3.3: count the
+// symbols per record tag (the run lengths — tags are non-decreasing
+// after the stable partition), then an exclusive prefix sum yields the
+// offsets.
+func indexRecordTagged(d *device.Device, phase string, data []byte, recTags []uint32, numRecords int) (*Index, error) {
+	if len(recTags) != len(data) {
+		return nil, fmt.Errorf("css: record tags length %d != data length %d", len(recTags), len(data))
+	}
+	if numRecords < 0 {
+		return nil, fmt.Errorf("css: negative record count")
+	}
+	lengths := make([]int64, numRecords)
+	// Per-symbol run detection: a symbol owns the run start when its tag
+	// differs from its predecessor's; run length = distance to the next
+	// tag change. Equivalent to a histogram because tags are sorted; the
+	// histogram formulation parallelises without run-boundary search.
+	d.LaunchBlocks(phase, len(data), func(_, first, limit int) {
+		// Per-block local histogram merged once — tags are sorted, so a
+		// block touches few distinct records.
+		i := first
+		for i < limit {
+			tag := recTags[i]
+			j := i + 1
+			for j < limit && recTags[j] == tag {
+				j++
+			}
+			if int(tag) >= numRecords {
+				panic(fmt.Sprintf("css: record tag %d out of range [0,%d)", tag, numRecords))
+			}
+			addInt64(&lengths[tag], int64(j-i))
+			i = j
+		}
+	})
+	starts := make([]int64, numRecords)
+	scan.Exclusive(d, phase, scan.Sum[int64](), lengths, starts)
+	return &Index{Starts: starts, Lengths: lengths}, nil
+}
+
+// indexByMark builds the index for inline-terminated and vector-delimited
+// CSSs: field k spans from just after mark k-1 to mark k. When the CSS
+// does not end with a mark (a trailing record without final delimiter),
+// the tail forms one more field.
+func indexByMark(d *device.Device, phase string, n int, marked func(int) bool) (*Index, error) {
+	// Pass 1: per-tile mark counts.
+	const tile = 4096
+	tiles := (n + tile - 1) / tile
+	counts := make([]int64, tiles)
+	d.Launch(phase, tiles, func(t int) {
+		lo, hi := t*tile, (t+1)*tile
+		if hi > n {
+			hi = n
+		}
+		var c int64
+		for i := lo; i < hi; i++ {
+			if marked(i) {
+				c++
+			}
+		}
+		counts[t] = c
+	})
+	offs := make([]int64, tiles)
+	total := scan.Exclusive(d, phase, scan.Sum[int64](), counts, offs)
+
+	// Pass 2: scatter mark positions.
+	marks := make([]int64, total)
+	d.Launch(phase, tiles, func(t int) {
+		lo, hi := t*tile, (t+1)*tile
+		if hi > n {
+			hi = n
+		}
+		w := offs[t]
+		for i := lo; i < hi; i++ {
+			if marked(i) {
+				marks[w] = int64(i)
+				w++
+			}
+		}
+	})
+
+	fields := int(total)
+	trailing := false
+	if n > 0 && (fields == 0 || marks[fields-1] != int64(n-1)) {
+		trailing = true
+		fields++
+	}
+	ix := &Index{Starts: make([]int64, fields), Lengths: make([]int64, fields)}
+	d.Launch(phase, fields, func(k int) {
+		var start int64
+		if k > 0 {
+			start = marks[k-1] + 1
+		}
+		var end int64
+		if trailing && k == fields-1 {
+			end = int64(n)
+		} else {
+			end = marks[k]
+		}
+		ix.Starts[k] = start
+		ix.Lengths[k] = end - start
+	})
+	return ix, nil
+}

@@ -1,0 +1,324 @@
+// Package device simulates a massively parallel accelerator in pure Go.
+//
+// ParPaRaw (Stehle & Jacobsen, VLDB 2020) targets CUDA GPUs: kernels are
+// launched over millions of lightweight threads grouped into warps and
+// thread-blocks, scheduled across a few thousand hardware cores. Go has no
+// GPU kernel ecosystem, so this package provides a behaviour-preserving
+// substitute: a Device schedules logical threads (identified by a dense
+// index, exactly like a CUDA global thread id) across a fixed pool of
+// worker goroutines in block-shaped batches.
+//
+// The substitution preserves what the algorithm relies on:
+//
+//   - independent per-thread work over a dense index domain,
+//   - thread-count ≫ core-count oversubscription,
+//   - block-level grouping (for the block-level collaboration of §3.3),
+//   - a fixed per-launch overhead (kernel invocation cost, §5.1),
+//   - per-step timing equivalent to CUDA events.
+//
+// It also hosts the two register-level algorithms of §4.5: the
+// multi-fragment in-register array (MFIRA) and the SWAR symbol matcher.
+package device
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Default hardware shape. The numbers mirror the Titan X (Pascal) used in
+// the paper where a meaningful analogue exists; they control scheduling
+// granularity, not correctness.
+const (
+	// DefaultBlockSize is the number of logical threads per block. The
+	// paper uses 64-thread blocks for field-value generation (§3.3).
+	DefaultBlockSize = 64
+	// DefaultWarpSize mirrors the CUDA warp width (§3.3).
+	DefaultWarpSize = 32
+	// DefaultSharedMemPerBlock models the "tens of kilobytes" of on-chip
+	// memory per streaming multiprocessor (§3.3, §4.5).
+	DefaultSharedMemPerBlock = 48 << 10
+	// DefaultLaunchOverhead models the 5-10 µs kernel invocation cost the
+	// paper measures for tiny inputs (§5.1). It is charged to timers, not
+	// slept, so tests stay fast; see Config.ChargeLaunchOverhead.
+	DefaultLaunchOverhead = 7 * time.Microsecond
+)
+
+// Config describes the simulated device.
+type Config struct {
+	// Workers is the number of OS-thread-backed workers used to execute
+	// logical threads. 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// BlockSize is the number of logical threads per block. 0 means
+	// DefaultBlockSize.
+	BlockSize int
+	// WarpSize is the number of logical threads per warp. 0 means
+	// DefaultWarpSize. Must divide BlockSize.
+	WarpSize int
+	// SharedMemPerBlock is the per-block on-chip memory budget in bytes.
+	// 0 means DefaultSharedMemPerBlock. Collaboration-level decisions in
+	// the convert step consult this budget.
+	SharedMemPerBlock int
+	// LaunchOverhead is the synthetic per-launch cost charged to the
+	// device timers. Negative disables; 0 means DefaultLaunchOverhead.
+	LaunchOverhead time.Duration
+	// ChargeLaunchOverhead controls whether LaunchOverhead is added to
+	// recorded phase durations. It never sleeps.
+	ChargeLaunchOverhead bool
+	// VirtualWorkers, when positive, switches the device to modelled-time
+	// mode: every logical thread still executes (results are identical),
+	// but the duration recorded for each launch is the makespan of
+	// scheduling the launch's blocks across VirtualWorkers virtual cores,
+	// computed from measured per-block execution costs by list
+	// scheduling, plus LaunchOverhead. This is the substitution for
+	// hardware parallelism the host does not have: it reproduces the
+	// scaling *shape* of a many-core device (load imbalance from skewed
+	// blocks included) while Workers bounds only the real execution.
+	VirtualWorkers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = DefaultBlockSize
+	}
+	if c.WarpSize <= 0 {
+		c.WarpSize = DefaultWarpSize
+	}
+	if c.SharedMemPerBlock <= 0 {
+		c.SharedMemPerBlock = DefaultSharedMemPerBlock
+	}
+	if c.LaunchOverhead == 0 {
+		c.LaunchOverhead = DefaultLaunchOverhead
+	}
+	return c
+}
+
+// Device is a simulated massively parallel processor. A Device is safe for
+// concurrent use by multiple goroutines; each Launch call runs to
+// completion before returning (like a synchronous CUDA kernel launch
+// followed by cudaDeviceSynchronize).
+type Device struct {
+	cfg     Config
+	timers  *EventTimer
+	mu      sync.Mutex
+	kernels int64 // launches so far
+}
+
+// New returns a Device with the given configuration.
+func New(cfg Config) *Device {
+	c := cfg.withDefaults()
+	if c.BlockSize%c.WarpSize != 0 {
+		panic(fmt.Sprintf("device: block size %d not a multiple of warp size %d", c.BlockSize, c.WarpSize))
+	}
+	return &Device{cfg: c, timers: NewEventTimer()}
+}
+
+// Default returns a Device using all available CPUs and default shape.
+func Default() *Device { return New(Config{}) }
+
+// Config returns the effective (defaulted) configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Workers returns the number of parallel workers backing the device.
+func (d *Device) Workers() int { return d.cfg.Workers }
+
+// ModelledTime reports whether the device is in modelled-time mode
+// (Config.VirtualWorkers > 0). Algorithms with serial fast paths for
+// single-worker hosts must not take them in this mode: the modelled
+// schedule needs the parallel block structure even when the real
+// execution is serial.
+func (d *Device) ModelledTime() bool { return d.cfg.VirtualWorkers > 0 }
+
+// Timers exposes the device's phase timers (the CUDA-event analogue).
+func (d *Device) Timers() *EventTimer { return d.timers }
+
+// Launches reports the number of kernel launches performed so far.
+func (d *Device) Launches() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.kernels
+}
+
+func (d *Device) noteLaunch(phase string) {
+	d.mu.Lock()
+	d.kernels++
+	d.mu.Unlock()
+	if d.cfg.ChargeLaunchOverhead && d.cfg.LaunchOverhead > 0 {
+		d.timers.Add(phase, d.cfg.LaunchOverhead)
+	}
+}
+
+// Kernel is the body of a data-parallel launch. It receives the logical
+// global thread index, exactly like a flattened CUDA thread id.
+type Kernel func(thread int)
+
+// BlockKernel is the body of a block-level launch. It receives the block
+// index and the half-open range of logical threads the block covers, so a
+// kernel can perform block-level collaboration (§3.3) over that range.
+type BlockKernel func(block, firstThread, limitThread int)
+
+// Launch runs kernel for every logical thread in [0, threads), scheduling
+// block-shaped batches across the device workers, and blocks until all
+// threads have completed. The phase name attributes the elapsed time to
+// the device timers.
+func (d *Device) Launch(phase string, threads int, kernel Kernel) {
+	if threads < 0 {
+		panic("device: negative thread count")
+	}
+	d.LaunchBlocks(phase, threads, func(_, first, limit int) {
+		for t := first; t < limit; t++ {
+			kernel(t)
+		}
+	})
+}
+
+// LaunchBlocks runs kernel once per block covering [0, threads) logical
+// threads, BlockSize threads per block. Blocks are distributed dynamically
+// across workers so skewed per-block costs (e.g. a 200 MB record) do not
+// stall the launch (§5.1 robustness).
+func (d *Device) LaunchBlocks(phase string, threads int, kernel BlockKernel) {
+	if threads < 0 {
+		panic("device: negative thread count")
+	}
+	if d.cfg.VirtualWorkers > 0 {
+		d.launchVirtual(phase, threads, kernel)
+		return
+	}
+	stop := d.timers.Start(phase)
+	defer stop()
+	d.noteLaunch(phase)
+	if threads == 0 {
+		return
+	}
+	blockSize := d.cfg.BlockSize
+	blocks := (threads + blockSize - 1) / blockSize
+	d.runBlocks(blocks, threads, kernel)
+}
+
+// launchVirtual executes the launch in modelled-time mode: blocks run on
+// the real workers while their individual costs are measured; the
+// recorded duration is the list-scheduling makespan of those costs over
+// VirtualWorkers virtual cores (plus the launch overhead).
+func (d *Device) launchVirtual(phase string, threads int, kernel BlockKernel) {
+	d.mu.Lock()
+	d.kernels++
+	d.mu.Unlock()
+	modelled := time.Duration(0)
+	if d.cfg.LaunchOverhead > 0 {
+		modelled = d.cfg.LaunchOverhead
+	}
+	if threads > 0 {
+		blockSize := d.cfg.BlockSize
+		blocks := (threads + blockSize - 1) / blockSize
+		durs := make([]time.Duration, blocks)
+		d.runBlocks(blocks, threads, func(b, first, limit int) {
+			begin := time.Now()
+			kernel(b, first, limit)
+			durs[b] = time.Since(begin)
+		})
+		modelled += Makespan(durs, d.cfg.VirtualWorkers)
+	}
+	d.timers.Add(phase, modelled)
+}
+
+// runBlocks executes kernel for every block in [0, blocks), distributing
+// blocks dynamically across the device's real workers.
+func (d *Device) runBlocks(blocks, threads int, kernel BlockKernel) {
+	blockSize := d.cfg.BlockSize
+	workers := d.cfg.Workers
+	if workers > blocks {
+		workers = blocks
+	}
+	if workers <= 1 {
+		for b := 0; b < blocks; b++ {
+			first := b * blockSize
+			limit := min(first+blockSize, threads)
+			kernel(b, first, limit)
+		}
+		return
+	}
+
+	// Dynamic scheduling: workers claim contiguous runs of blocks. The
+	// run length trades scheduling overhead against load balance; claiming
+	// a handful of blocks at a time keeps both small.
+	var next int64
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	claim := func(n int64) (int64, int64) {
+		mu.Lock()
+		defer mu.Unlock()
+		start := next
+		next += n
+		return start, next
+	}
+	const run = 4
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				start, end := claim(run)
+				if start >= int64(blocks) {
+					return
+				}
+				if end > int64(blocks) {
+					end = int64(blocks)
+				}
+				for b := start; b < end; b++ {
+					first := int(b) * blockSize
+					limit := min(first+blockSize, threads)
+					kernel(int(b), first, limit)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Reduce runs a parallel reduction of n per-thread values produced by f
+// under the associative combine op, returning identity for n == 0. It is
+// the device analogue of a reduction kernel (used by type inference and
+// column-count inference, §4.3).
+func Reduce[T any](d *Device, phase string, n int, identity T, f func(i int) T, op func(a, b T) T) T {
+	if n <= 0 {
+		d.noteLaunch(phase)
+		return identity
+	}
+	blockSize := d.cfg.BlockSize
+	blocks := (n + blockSize - 1) / blockSize
+	partial := make([]T, blocks)
+	d.LaunchBlocks(phase, n, func(b, first, limit int) {
+		acc := identity
+		for i := first; i < limit; i++ {
+			acc = op(acc, f(i))
+		}
+		partial[b] = acc
+	})
+	out := identity
+	for _, p := range partial {
+		out = op(out, p)
+	}
+	return out
+}
+
+// ErrOutOfSharedMemory reports a block-level collaboration request that
+// exceeds the per-block on-chip budget and must escalate to device level.
+var ErrOutOfSharedMemory = errors.New("device: allocation exceeds shared memory budget")
+
+// SharedMemFits reports whether a block-level collaboration working set of
+// the given size fits the simulated on-chip memory (§3.3 thresholding).
+func (d *Device) SharedMemFits(bytes int) bool {
+	return bytes >= 0 && bytes <= d.cfg.SharedMemPerBlock
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,164 @@
+package device
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestLaunchCoversEveryThreadOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		for _, threads := range []int{0, 1, 63, 64, 65, 1000, 4097} {
+			d := New(Config{Workers: workers})
+			hits := make([]int32, threads)
+			d.Launch("test", threads, func(i int) {
+				atomic.AddInt32(&hits[i], 1)
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d threads=%d: thread %d executed %d times", workers, threads, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestLaunchBlocksShape(t *testing.T) {
+	d := New(Config{Workers: 4, BlockSize: 64})
+	var blocks int64
+	seen := make([]int32, 130)
+	d.LaunchBlocks("test", 130, func(b, first, limit int) {
+		atomic.AddInt64(&blocks, 1)
+		if first != b*64 {
+			t.Errorf("block %d first = %d", b, first)
+		}
+		if limit-first > 64 || limit <= first {
+			t.Errorf("block %d bad extent [%d,%d)", b, first, limit)
+		}
+		for i := first; i < limit; i++ {
+			atomic.AddInt32(&seen[i], 1)
+		}
+	})
+	if blocks != 3 { // ceil(130/64)
+		t.Errorf("blocks = %d, want 3", blocks)
+	}
+	for i, s := range seen {
+		if s != 1 {
+			t.Errorf("thread %d covered %d times", i, s)
+		}
+	}
+}
+
+func TestLaunchZeroAndNegative(t *testing.T) {
+	d := Default()
+	d.Launch("test", 0, func(int) { t.Error("kernel ran for zero threads") })
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic for negative thread count")
+		}
+	}()
+	d.Launch("test", -1, func(int) {})
+}
+
+func TestConfigDefaults(t *testing.T) {
+	d := Default()
+	cfg := d.Config()
+	if cfg.Workers <= 0 || cfg.BlockSize != DefaultBlockSize || cfg.WarpSize != DefaultWarpSize {
+		t.Errorf("bad defaults: %+v", cfg)
+	}
+	if cfg.BlockSize%cfg.WarpSize != 0 {
+		t.Error("block size must be a multiple of warp size")
+	}
+}
+
+func TestBadWarpSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic when warp size does not divide block size")
+		}
+	}()
+	New(Config{BlockSize: 64, WarpSize: 48})
+}
+
+func TestReduce(t *testing.T) {
+	d := New(Config{Workers: 4})
+	n := 10000
+	sum := Reduce(d, "test", n, 0, func(i int) int { return i }, func(a, b int) int { return a + b })
+	if want := n * (n - 1) / 2; sum != want {
+		t.Errorf("sum = %d, want %d", sum, want)
+	}
+	maxv := Reduce(d, "test", n, -1, func(i int) int { return (i * 7919) % n }, func(a, b int) int {
+		if a > b {
+			return a
+		}
+		return b
+	})
+	if maxv != n-1 {
+		t.Errorf("max = %d, want %d", maxv, n-1)
+	}
+	if got := Reduce(d, "test", 0, 42, func(int) int { return 0 }, func(a, b int) int { return a + b }); got != 42 {
+		t.Errorf("empty reduce = %d, want identity", got)
+	}
+}
+
+func TestLaunchCountsAndOverhead(t *testing.T) {
+	d := New(Config{Workers: 2, ChargeLaunchOverhead: true, LaunchOverhead: time.Millisecond})
+	before := d.Launches()
+	d.Launch("phase-x", 10, func(int) {})
+	d.Launch("phase-x", 10, func(int) {})
+	if got := d.Launches() - before; got != 2 {
+		t.Errorf("launches = %d, want 2", got)
+	}
+	if got := d.Timers().Phase("phase-x"); got < 2*time.Millisecond {
+		t.Errorf("charged overhead = %v, want >= 2ms", got)
+	}
+}
+
+func TestSharedMemFits(t *testing.T) {
+	d := New(Config{SharedMemPerBlock: 1024})
+	if !d.SharedMemFits(1024) || d.SharedMemFits(1025) || d.SharedMemFits(-1) {
+		t.Error("SharedMemFits boundary behaviour wrong")
+	}
+}
+
+func TestEventTimer(t *testing.T) {
+	et := NewEventTimer()
+	et.Add("a", time.Second)
+	et.Add("a", time.Second)
+	et.Add("b", time.Millisecond)
+	if got := et.Phase("a"); got != 2*time.Second {
+		t.Errorf("phase a = %v", got)
+	}
+	if got := et.Count("a"); got != 2 {
+		t.Errorf("count a = %d", got)
+	}
+	if got := et.Total(); got != 2*time.Second+time.Millisecond {
+		t.Errorf("total = %v", got)
+	}
+	if got := et.Phases(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("phases = %v", got)
+	}
+	snap := et.Snapshot()
+	et.Reset()
+	if et.Total() != 0 {
+		t.Error("reset did not clear")
+	}
+	if snap["a"] != 2*time.Second {
+		t.Error("snapshot not a copy")
+	}
+}
+
+func TestEventTimerStartStop(t *testing.T) {
+	et := NewEventTimer()
+	base := time.Unix(0, 0)
+	calls := 0
+	et.now = func() time.Time {
+		calls++
+		return base.Add(time.Duration(calls) * time.Second)
+	}
+	stop := et.Start("p")
+	stop()
+	if got := et.Phase("p"); got != time.Second {
+		t.Errorf("phase = %v, want 1s", got)
+	}
+}

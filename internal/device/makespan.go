@@ -1,0 +1,71 @@
+package device
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Makespan returns the completion time of list-scheduling the given task
+// durations, in order, onto w identical workers: each task is assigned
+// to the worker that becomes free earliest. This models the dynamic
+// block scheduler of a GPU (and of runBlocks): in-order issue, greedy
+// placement. It is the core of the device's modelled-time mode — the
+// measured per-block costs of a launch are scheduled onto
+// VirtualWorkers virtual cores to obtain the duration the launch would
+// have taken on hardware of that width.
+//
+// Skew is modelled faithfully: one giant task bounds the makespan from
+// below regardless of w, which is exactly the Figure 11 (right)
+// robustness scenario.
+func Makespan(tasks []time.Duration, w int) time.Duration {
+	if len(tasks) == 0 {
+		return 0
+	}
+	if w <= 1 {
+		var sum time.Duration
+		for _, t := range tasks {
+			sum += t
+		}
+		return sum
+	}
+	if w >= len(tasks) {
+		var max time.Duration
+		for _, t := range tasks {
+			if t > max {
+				max = t
+			}
+		}
+		return max
+	}
+	// Min-heap of worker free times, seeded with the first w tasks.
+	h := make(durationHeap, w)
+	for i := 0; i < w; i++ {
+		h[i] = tasks[i]
+	}
+	heap.Init(&h)
+	for _, t := range tasks[w:] {
+		h[0] += t
+		heap.Fix(&h, 0)
+	}
+	var makespan time.Duration
+	for _, end := range h {
+		if end > makespan {
+			makespan = end
+		}
+	}
+	return makespan
+}
+
+type durationHeap []time.Duration
+
+func (h durationHeap) Len() int            { return len(h) }
+func (h durationHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h durationHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *durationHeap) Push(x interface{}) { *h = append(*h, x.(time.Duration)) }
+func (h *durationHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,178 @@
+package device
+
+import "fmt"
+
+// This file implements the multi-fragment in-register array (MFIRA) of
+// §4.5 / Figure 8. On a GPU, threads cannot dynamically index into the
+// register file; MFIRA works around that by decomposing each b-bit item
+// into fixed-width fragments and distributing fragment j of all items
+// into register j, where individual bits *can* be addressed with the
+// bit-field insert (BFI) and extract (BFE) intrinsics. The fragment width
+// is rounded down to a power of two so bit offsets are computed with a
+// shift instead of a multiplication.
+//
+// The Go reproduction keeps the exact layout and arithmetic of Figure 8
+// over uint32 words. ParPaRaw uses MFIRA for state-transition vectors,
+// symbol matching and small transition tables.
+
+// BFE extracts width bits of r starting at bit offset pos (bit-field
+// extract, the CUDA intrinsic of the same name). Bits beyond the register
+// read as zero.
+func BFE(r uint32, pos, width uint) uint32 {
+	if pos >= 32 {
+		return 0
+	}
+	v := r >> pos
+	if width >= 32 {
+		return v
+	}
+	return v & ((1 << width) - 1)
+}
+
+// BFI inserts the low width bits of v into r at bit offset pos and
+// returns the result (bit-field insert).
+func BFI(r, v uint32, pos, width uint) uint32 {
+	if pos >= 32 || width == 0 {
+		return r
+	}
+	if width > 32-pos {
+		width = 32 - pos
+	}
+	mask := uint32((uint64(1)<<width)-1) << pos
+	return (r &^ mask) | ((v << pos) & mask)
+}
+
+// MFIRALayout captures the derived geometry of a multi-fragment
+// in-register array, matching the table in Figure 8.
+type MFIRALayout struct {
+	Items        int // c: number of items
+	BitsPerItem  int // b: logical width of each item
+	AvailBits    int // a = floor(32/c): available bits per item-fragment
+	FragmentBits int // k = 2^floor(log2(a)): bits actually used per fragment
+	Fragments    int // ceil(b/k): registers needed
+}
+
+// PlanMFIRA computes the layout for an array of items c items of b bits
+// each. It returns an error when a single register cannot hold one
+// fragment per item (c > 32) or the inputs are not positive.
+func PlanMFIRA(items, bitsPerItem int) (MFIRALayout, error) {
+	if items <= 0 {
+		return MFIRALayout{}, fmt.Errorf("device: MFIRA needs at least one item, got %d", items)
+	}
+	if bitsPerItem <= 0 || bitsPerItem > 32 {
+		return MFIRALayout{}, fmt.Errorf("device: MFIRA item width must be in [1,32], got %d", bitsPerItem)
+	}
+	a := 32 / items
+	if a == 0 {
+		return MFIRALayout{}, fmt.Errorf("device: MFIRA cannot hold %d items in a 32-bit register", items)
+	}
+	// Round down to a power of two so bit offsets use shifts (§4.5).
+	k := 1
+	for k*2 <= a {
+		k *= 2
+	}
+	fragments := (bitsPerItem + k - 1) / k
+	return MFIRALayout{
+		Items:        items,
+		BitsPerItem:  bitsPerItem,
+		AvailBits:    a,
+		FragmentBits: k,
+		Fragments:    fragments,
+	}, nil
+}
+
+// MFIRA is a dynamically indexable bounded array of small integers backed
+// by a handful of 32-bit words ("registers"). The zero value is not
+// usable; construct with NewMFIRA.
+type MFIRA struct {
+	layout MFIRALayout
+	shift  uint // log2(FragmentBits)
+	regs   []uint32
+}
+
+// NewMFIRA returns an array of the given geometry with all items zero.
+func NewMFIRA(items, bitsPerItem int) (*MFIRA, error) {
+	layout, err := PlanMFIRA(items, bitsPerItem)
+	if err != nil {
+		return nil, err
+	}
+	shift := uint(0)
+	for 1<<shift < layout.FragmentBits {
+		shift++
+	}
+	return &MFIRA{
+		layout: layout,
+		shift:  shift,
+		regs:   make([]uint32, layout.Fragments),
+	}, nil
+}
+
+// MustMFIRA is NewMFIRA that panics on error; for geometries known to be
+// valid at compile time.
+func MustMFIRA(items, bitsPerItem int) *MFIRA {
+	m, err := NewMFIRA(items, bitsPerItem)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Layout returns the derived geometry.
+func (m *MFIRA) Layout() MFIRALayout { return m.layout }
+
+// Len returns the number of items.
+func (m *MFIRA) Len() int { return m.layout.Items }
+
+// Registers returns a copy of the backing words (for tests that check the
+// physical view of Figure 8).
+func (m *MFIRA) Registers() []uint32 {
+	out := make([]uint32, len(m.regs))
+	copy(out, m.regs)
+	return out
+}
+
+// Get reassembles item i from its fragments.
+func (m *MFIRA) Get(i int) uint32 {
+	if i < 0 || i >= m.layout.Items {
+		panic(fmt.Sprintf("device: MFIRA index %d out of range [0,%d)", i, m.layout.Items))
+	}
+	k := uint(m.layout.FragmentBits)
+	pos := uint(i) << m.shift // i * k via shift, as §4.5 prescribes
+	var v uint32
+	for j := 0; j < m.layout.Fragments; j++ {
+		v |= BFE(m.regs[j], pos, k) << (uint(j) * k)
+	}
+	if b := uint(m.layout.BitsPerItem); b < 32 {
+		v &= (1 << b) - 1
+	}
+	return v
+}
+
+// Set decomposes v into fragments and writes them as item i.
+func (m *MFIRA) Set(i int, v uint32) {
+	if i < 0 || i >= m.layout.Items {
+		panic(fmt.Sprintf("device: MFIRA index %d out of range [0,%d)", i, m.layout.Items))
+	}
+	if b := uint(m.layout.BitsPerItem); b < 32 {
+		v &= (1 << b) - 1
+	}
+	k := uint(m.layout.FragmentBits)
+	pos := uint(i) << m.shift
+	for j := 0; j < m.layout.Fragments; j++ {
+		m.regs[j] = BFI(m.regs[j], v>>(uint(j)*k), pos, k)
+	}
+}
+
+// Fill sets every item to v.
+func (m *MFIRA) Fill(v uint32) {
+	for i := 0; i < m.layout.Items; i++ {
+		m.Set(i, v)
+	}
+}
+
+// Clone returns a deep copy.
+func (m *MFIRA) Clone() *MFIRA {
+	c := &MFIRA{layout: m.layout, shift: m.shift, regs: make([]uint32, len(m.regs))}
+	copy(c.regs, m.regs)
+	return c
+}

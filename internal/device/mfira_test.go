@@ -1,0 +1,204 @@
+package device
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestMFIRAFigure8Layout replays the derived-geometry table of Figure 8:
+// c=10 items of b=5 bits give a=3 available bits, k=2 bits per fragment,
+// and 3 fragments.
+func TestMFIRAFigure8Layout(t *testing.T) {
+	l, err := PlanMFIRA(10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.AvailBits != 3 {
+		t.Errorf("avail bits = %d, want 3", l.AvailBits)
+	}
+	if l.FragmentBits != 2 {
+		t.Errorf("fragment bits = %d, want 2", l.FragmentBits)
+	}
+	if l.Fragments != 3 {
+		t.Errorf("fragments = %d, want 3", l.Fragments)
+	}
+}
+
+// TestMFIRAFigure8Values stores the logical view of Figure 8 and checks
+// round-trips plus the fragment decomposition invariant.
+func TestMFIRAFigure8Values(t *testing.T) {
+	values := []uint32{5, 7, 31, 20, 10, 0, 26, 3, 15, 16}
+	m := MustMFIRA(10, 5)
+	for i, v := range values {
+		m.Set(i, v)
+	}
+	for i, want := range values {
+		if got := m.Get(i); got != want {
+			t.Errorf("item %d = %d, want %d", i, got, want)
+		}
+	}
+	// Physical view: fragment j of item i sits at bits [2i, 2i+2) of
+	// register j and holds bits [2j, 2j+2) of the value.
+	regs := m.Registers()
+	if len(regs) != 3 {
+		t.Fatalf("got %d registers, want 3", len(regs))
+	}
+	for i, v := range values {
+		for j := 0; j < 3; j++ {
+			frag := BFE(regs[j], uint(2*i), 2)
+			want := (v >> uint(2*j)) & 3
+			if frag != want {
+				t.Errorf("item %d fragment %d = %b, want %b", i, j, frag, want)
+			}
+		}
+	}
+}
+
+func TestMFIRAPlanErrors(t *testing.T) {
+	cases := []struct{ items, bits int }{
+		{0, 5}, {-1, 5}, {33, 1}, {10, 0}, {10, 33},
+	}
+	for _, c := range cases {
+		if _, err := PlanMFIRA(c.items, c.bits); err == nil {
+			t.Errorf("PlanMFIRA(%d,%d): want error", c.items, c.bits)
+		}
+	}
+}
+
+func TestMFIRASingleFragment(t *testing.T) {
+	// 6 states × 4 bits: a = 5, k = 4, one fragment — the RFC 4180
+	// state-vector geometry.
+	m := MustMFIRA(6, 4)
+	if got := m.Layout().Fragments; got != 1 {
+		t.Fatalf("fragments = %d, want 1", got)
+	}
+	for i := 0; i < 6; i++ {
+		m.Set(i, uint32(15-i))
+	}
+	for i := 0; i < 6; i++ {
+		if got := m.Get(i); got != uint32(15-i) {
+			t.Errorf("item %d = %d, want %d", i, got, 15-i)
+		}
+	}
+}
+
+func TestMFIRAMaxItems(t *testing.T) {
+	// 32 one-bit items: the densest legal geometry.
+	m := MustMFIRA(32, 1)
+	for i := 0; i < 32; i += 2 {
+		m.Set(i, 1)
+	}
+	for i := 0; i < 32; i++ {
+		want := uint32(0)
+		if i%2 == 0 {
+			want = 1
+		}
+		if got := m.Get(i); got != want {
+			t.Errorf("item %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestMFIRASetMasksOverflow(t *testing.T) {
+	m := MustMFIRA(10, 5)
+	m.Set(3, 0xFFFFFFFF) // only the low 5 bits may be stored
+	if got := m.Get(3); got != 31 {
+		t.Errorf("overflowing set stored %d, want 31", got)
+	}
+	if got := m.Get(2); got != 0 {
+		t.Errorf("neighbour item disturbed: %d", got)
+	}
+	if got := m.Get(4); got != 0 {
+		t.Errorf("neighbour item disturbed: %d", got)
+	}
+}
+
+func TestMFIRAOutOfRangePanics(t *testing.T) {
+	m := MustMFIRA(4, 3)
+	for _, idx := range []int{-1, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Get(%d): want panic", idx)
+				}
+			}()
+			m.Get(idx)
+		}()
+	}
+}
+
+func TestMFIRAFillAndClone(t *testing.T) {
+	m := MustMFIRA(7, 3)
+	m.Fill(5)
+	c := m.Clone()
+	m.Set(2, 1)
+	for i := 0; i < 7; i++ {
+		if got := c.Get(i); got != 5 {
+			t.Errorf("clone item %d = %d, want 5", i, got)
+		}
+	}
+	if got := m.Get(2); got != 1 {
+		t.Errorf("original item 2 = %d, want 1", got)
+	}
+}
+
+// TestMFIRAQuickRoundTrip property-tests that any sequence of writes is
+// faithfully readable for a variety of geometries.
+func TestMFIRAQuickRoundTrip(t *testing.T) {
+	geometries := []struct{ items, bits int }{
+		{10, 5}, {6, 4}, {16, 4}, {32, 1}, {3, 11}, {1, 32}, {8, 7},
+	}
+	for _, g := range geometries {
+		g := g
+		f := func(writes []uint32, seed int64) bool {
+			m := MustMFIRA(g.items, g.bits)
+			ref := make([]uint32, g.items)
+			rng := rand.New(rand.NewSource(seed))
+			mask := uint32(0xFFFFFFFF)
+			if g.bits < 32 {
+				mask = (1 << uint(g.bits)) - 1
+			}
+			for _, w := range writes {
+				i := rng.Intn(g.items)
+				m.Set(i, w)
+				ref[i] = w & mask
+			}
+			for i := range ref {
+				if m.Get(i) != ref[i] {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+			t.Errorf("geometry %dx%db: %v", g.items, g.bits, err)
+		}
+	}
+}
+
+func TestBFEBFI(t *testing.T) {
+	r := uint32(0)
+	r = BFI(r, 0b101, 4, 3)
+	if got := BFE(r, 4, 3); got != 0b101 {
+		t.Errorf("BFE after BFI = %b, want 101", got)
+	}
+	if r != 0b101<<4 {
+		t.Errorf("register = %032b", r)
+	}
+	// Inserts clip at the register edge.
+	r2 := BFI(0, 0xFF, 30, 8)
+	if r2 != 0b11<<30 {
+		t.Errorf("edge insert = %032b", r2)
+	}
+	if got := BFE(r2, 30, 8); got != 0b11 {
+		t.Errorf("edge extract = %b", got)
+	}
+	// Width 0 and out-of-range positions are no-ops / zero.
+	if BFI(42, 7, 3, 0) != 42 {
+		t.Error("zero-width BFI must not modify the register")
+	}
+	if BFE(42, 32, 4) != 0 {
+		t.Error("BFE beyond the register must read zero")
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package device
+
+// raceEnabled reports that the race detector is active; timing-sensitive
+// tests skip their latency assertions, since instrumentation distorts
+// per-block cost measurements.
+const raceEnabled = true

@@ -1,0 +1,144 @@
+package device
+
+import "math/bits"
+
+// This file implements the branchless SWAR (SIMD-within-a-register) symbol
+// matcher of §4.5 / Table 2. Delimiter-separated formats distinguish only
+// a handful of symbols (delimiters, quotes, escapes), so instead of a
+// 256-entry lookup table the matcher packs the symbols of interest into
+// the bytes of a few 32-bit "LU-registers". A read symbol is replicated
+// into every byte of an s-register; XOR against each LU-register yields a
+// null byte exactly where the symbol matches; Mycroft's null-byte hack
+// turns that into a most-significant-bit flag, and a bit scan (the CUDA
+// bfind intrinsic) recovers the matching byte index. Registers without a
+// match contribute the sentinel 0x1FFFFFFF; a final min() folds in the
+// catch-all group — all without a single branch on the symbol value.
+
+const (
+	swarOnes = 0x01010101
+	swarHigh = 0x80808080
+	// swarNoMatch is bfind(0)>>3: the per-register "no match" index.
+	swarNoMatch = 0xFFFFFFFF >> 3
+)
+
+// MycroftHasZeroByte is H(x) from Table 2: it sets the most significant
+// bit of every byte of x that is zero (Mycroft, 1987). Caveat inherited
+// from the hack: a 0x01 byte sitting above a zero byte (through a chain
+// of 0x00/0x01 bytes) is also flagged, because the subtraction borrows
+// through it. The flag at the *lowest* flagged byte is always a true
+// zero; see Index for how the matcher exploits that.
+func MycroftHasZeroByte(x uint32) uint32 {
+	return (x - swarOnes) & ^x & swarHigh
+}
+
+// BFind returns the bit position of the most significant set bit of x, or
+// 0xFFFFFFFF when x is zero — the semantics of the CUDA bfind intrinsic
+// the paper relies on.
+func BFind(x uint32) uint32 {
+	if x == 0 {
+		return 0xFFFFFFFF
+	}
+	return uint32(31 - bits.LeadingZeros32(x))
+}
+
+// ReplicateByte returns s copied into all four bytes of a register (the
+// s-register of Table 2).
+func ReplicateByte(s byte) uint32 {
+	return uint32(s) * swarOnes
+}
+
+// SWARMatcher maps a byte to its index in a small symbol set, with a
+// catch-all index for bytes not in the set. Index i corresponds to the
+// i-th symbol passed to NewSWARMatcher; the catch-all index is
+// len(symbols). ParPaRaw orders the symbols so the resulting index is the
+// DFA's symbol-group row (Table 1).
+type SWARMatcher struct {
+	lu       []uint32 // lookup registers, 4 symbols per register
+	n        int      // number of distinct lookup symbols
+	catchAll uint32   // index returned for unmatched bytes (== n)
+}
+
+// NewSWARMatcher builds a matcher over the given symbols. Symbols must be
+// distinct; later duplicates would be unreachable (min() always prefers
+// the lower index), so they are rejected to surface configuration bugs.
+func NewSWARMatcher(symbols []byte) *SWARMatcher {
+	seen := [256]bool{}
+	for _, s := range symbols {
+		if seen[s] {
+			panic("device: duplicate symbol in SWAR matcher")
+		}
+		seen[s] = true
+	}
+	nregs := (len(symbols) + 3) / 4
+	lu := make([]uint32, nregs)
+	for i := 0; i < nregs*4; i++ {
+		var b byte
+		if i < len(symbols) {
+			b = symbols[i]
+		} else {
+			// Pad trailing bytes with symbol 0. Padding can only match
+			// when the read symbol *is* symbol 0, whose genuine index 0
+			// wins the min() anyway, so padding never produces a wrong
+			// result. An empty symbol set allocates no registers.
+			b = symbols[0]
+		}
+		lu[i/4] |= uint32(b) << (uint(i%4) * 8)
+	}
+	return &SWARMatcher{lu: lu, n: len(symbols), catchAll: uint32(len(symbols))}
+}
+
+// Symbols returns the number of lookup symbols (the catch-all index).
+func (m *SWARMatcher) Symbols() int { return m.n }
+
+// Index returns the index of s in the symbol set, or the catch-all index
+// when s is not present. The implementation is branch-free on the symbol
+// value, mirroring Table 2 step by step with one correctness refinement:
+// the paper scans flags with bfind (most significant first), which can
+// pick up a Mycroft false positive when one lookup symbol equals another
+// XOR 0x01 at a higher byte of the same register. False positives can
+// only appear *above* a true zero byte, so this implementation scans from
+// the least significant flag, which is exact for arbitrary symbol sets —
+// same instruction count (a bit-scan either way).
+func (m *SWARMatcher) Index(s byte) uint32 {
+	srep := ReplicateByte(s)
+	idx := uint32(0x7FFFFFFF)
+	for r, lu := range m.lu {
+		c := lu ^ srep
+		swar := MycroftHasZeroByte(c)
+		cand := bfindLow(swar)>>3 + uint32(r*4)
+		if cand < idx {
+			idx = cand
+		}
+	}
+	if m.catchAll < idx {
+		idx = m.catchAll
+	}
+	return idx
+}
+
+// bfindLow returns the bit position of the least significant set bit, or
+// 0xFFFFFFFF when x is zero — the from-below counterpart of BFind.
+func bfindLow(x uint32) uint32 {
+	if x == 0 {
+		return 0xFFFFFFFF
+	}
+	return uint32(bits.TrailingZeros32(x))
+}
+
+// IndexRegister exposes the per-register intermediate values of Table 2
+// for one LU-register: the XOR result, the Mycroft flags, and the derived
+// index (0x1FFFFFFF when the register holds no match). Used by tests and
+// by cmd/experiments -exp table2 to replay the worked example.
+func (m *SWARMatcher) IndexRegister(reg int, s byte) (xor, swar, idx uint32) {
+	xor = m.lu[reg] ^ ReplicateByte(s)
+	swar = MycroftHasZeroByte(xor)
+	idx = BFind(swar) >> 3
+	return xor, swar, idx
+}
+
+// LookupRegisters returns a copy of the LU-registers.
+func (m *SWARMatcher) LookupRegisters() []uint32 {
+	out := make([]uint32, len(m.lu))
+	copy(out, m.lu)
+	return out
+}

@@ -1,0 +1,216 @@
+package device
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// table2Symbols is the lookup set of the worked example in Table 2, in
+// byte order 0..4: \n " , | \t (byte 0 is the least significant byte of
+// the first LU-register).
+var table2Symbols = []byte{'\n', '"', ',', '|', '\t'}
+
+// TestSWARWorkedExampleTable2 replays Table 2 step by step for the read
+// symbol ',' and checks every intermediate value the paper prints.
+func TestSWARWorkedExampleTable2(t *testing.T) {
+	m := NewSWARMatcher(table2Symbols)
+	regs := m.LookupRegisters()
+	if len(regs) != 2 {
+		t.Fatalf("got %d LU-registers, want 2", len(regs))
+	}
+	// Register 0 holds bytes 3..0 = | , " \n.
+	wantReg0 := uint32('|')<<24 | uint32(',')<<16 | uint32('"')<<8 | uint32('\n')
+	if regs[0] != wantReg0 {
+		t.Errorf("LU-register 0 = %08X, want %08X", regs[0], wantReg0)
+	}
+
+	// c = LU XOR s for register 0, reading ',': bytes 25 50 00 0E 26
+	// across both registers; register 0 holds 50 00 0E 26.
+	xor, swar, idx := m.IndexRegister(0, ',')
+	if want := uint32(0x50000E26); xor != want {
+		t.Errorf("xor = %08X, want %08X", xor, want)
+	}
+	// H(c) flags the null byte: 00 80 00 00.
+	if want := uint32(0x00800000); swar != want {
+		t.Errorf("swar = %08X, want %08X", swar, want)
+	}
+	// bfind(swar)>>3 = 2.
+	if idx != 2 {
+		t.Errorf("register-0 index = %d, want 2", idx)
+	}
+
+	// Register 1 contains no match: bfind returns 0xFFFFFFFF, so the
+	// index is 0x1FFFFFFF as printed in Table 2.
+	_, swar1, idx1 := m.IndexRegister(1, ',')
+	if swar1 != 0 {
+		t.Errorf("register-1 swar = %08X, want 0", swar1)
+	}
+	if idx1 != 0x1FFFFFFF {
+		t.Errorf("register-1 index = %08X, want 1FFFFFFF", idx1)
+	}
+
+	// Final result: min over registers, then min with the catch-all (5).
+	if got := m.Index(','); got != 2 {
+		t.Errorf("Index(',') = %d, want 2", got)
+	}
+}
+
+func TestSWARAllSymbolsAndCatchAll(t *testing.T) {
+	m := NewSWARMatcher(table2Symbols)
+	for i, s := range table2Symbols {
+		if got := m.Index(s); got != uint32(i) {
+			t.Errorf("Index(%q) = %d, want %d", s, got, i)
+		}
+	}
+	for _, s := range []byte{'a', 'Z', '0', ' ', 0x00, 0xFF} {
+		if got := m.Index(s); got != 5 {
+			t.Errorf("Index(%q) = %d, want catch-all 5", s, got)
+		}
+	}
+}
+
+func TestSWARPaddingNeverFalseMatches(t *testing.T) {
+	// One symbol only: register padding replicates it. Every other byte
+	// must hit the catch-all (index 1).
+	m := NewSWARMatcher([]byte{'"'})
+	if got := m.Index('"'); got != 0 {
+		t.Errorf(`Index('"') = %d, want 0`, got)
+	}
+	for b := 0; b < 256; b++ {
+		if byte(b) == '"' {
+			continue
+		}
+		if got := m.Index(byte(b)); got != 1 {
+			t.Errorf("Index(%#x) = %d, want 1", b, got)
+		}
+	}
+}
+
+func TestSWARExhaustiveAgainstLinearSearch(t *testing.T) {
+	sets := [][]byte{
+		{'\n'},
+		{'\n', ','},
+		{'\n', '"', ','},
+		table2Symbols,
+		{'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i'}, // 3 registers
+		{0x00, 0xFF, 0x80, 0x7F},
+	}
+	for _, set := range sets {
+		m := NewSWARMatcher(set)
+		for b := 0; b < 256; b++ {
+			want := uint32(len(set))
+			for i, s := range set {
+				if s == byte(b) {
+					want = uint32(i)
+					break
+				}
+			}
+			if got := m.Index(byte(b)); got != want {
+				t.Errorf("set %q: Index(%#x) = %d, want %d", set, b, got, want)
+			}
+		}
+	}
+}
+
+func TestSWARDuplicateSymbolPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic on duplicate symbols")
+		}
+	}()
+	NewSWARMatcher([]byte{',', ','})
+}
+
+func TestMycroftHasZeroByte(t *testing.T) {
+	cases := []struct{ in, want uint32 }{
+		{0x00000000, 0x80808080},
+		{0x11111111, 0},
+		{0x50000E26, 0x00800000}, // the Table 2 value
+		{0xFF00FF00, 0x00800080},
+		{0x01010101, 0},
+	}
+	for _, c := range cases {
+		if got := MycroftHasZeroByte(c.in); got != c.want {
+			t.Errorf("H(%08X) = %08X, want %08X", c.in, got, c.want)
+		}
+	}
+}
+
+// TestMycroftQuick property-tests H(x) including its documented caveat:
+// every zero byte is flagged; a flagged non-zero byte must be 0x01 with a
+// zero byte somewhere below it (borrow propagation); and the lowest
+// flagged byte is always a true zero.
+func TestMycroftQuick(t *testing.T) {
+	f := func(x uint32) bool {
+		h := MycroftHasZeroByte(x)
+		lowestFlag := -1
+		for b := 0; b < 4; b++ {
+			byteVal := (x >> (8 * b)) & 0xFF
+			flag := h&(0x80<<(8*b)) != 0
+			if byteVal == 0 && !flag {
+				return false // missed zero byte
+			}
+			if flag && byteVal != 0 {
+				if byteVal != 0x01 {
+					return false // only 0x01 can false-positive
+				}
+				zeroBelow := false
+				for lb := 0; lb < b; lb++ {
+					if (x>>(8*lb))&0xFF == 0 {
+						zeroBelow = true
+					}
+				}
+				if !zeroBelow {
+					return false
+				}
+			}
+			if flag && lowestFlag == -1 {
+				lowestFlag = b
+			}
+		}
+		if lowestFlag >= 0 && (x>>(8*lowestFlag))&0xFF != 0 {
+			return false // lowest flag must be a true zero
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSWARFalsePositiveRegression pins the case that motivates scanning
+// flags from below: ',' (0x2C) and '-' (0x2D) differ only in bit 0, so
+// reading ',' makes the '-' lookup byte XOR to 0x01 and borrow-flag.
+func TestSWARFalsePositiveRegression(t *testing.T) {
+	m := NewSWARMatcher([]byte{',', '-'})
+	if got := m.Index(','); got != 0 {
+		t.Errorf("Index(',') = %d, want 0", got)
+	}
+	if got := m.Index('-'); got != 1 {
+		t.Errorf("Index('-') = %d, want 1", got)
+	}
+}
+
+func TestBFind(t *testing.T) {
+	if BFind(0) != 0xFFFFFFFF {
+		t.Error("BFind(0) must be 0xFFFFFFFF")
+	}
+	if got := BFind(1); got != 0 {
+		t.Errorf("BFind(1) = %d, want 0", got)
+	}
+	if got := BFind(0x80000000); got != 31 {
+		t.Errorf("BFind(msb) = %d, want 31", got)
+	}
+	if got := BFind(0x00800000); got != 23 {
+		t.Errorf("BFind(0x00800000) = %d, want 23", got)
+	}
+}
+
+func TestReplicateByte(t *testing.T) {
+	if got := ReplicateByte(','); got != 0x2C2C2C2C {
+		t.Errorf("ReplicateByte(',') = %08X", got)
+	}
+	if got := ReplicateByte(0); got != 0 {
+		t.Errorf("ReplicateByte(0) = %08X", got)
+	}
+}

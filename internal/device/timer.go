@@ -1,0 +1,100 @@
+package device
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// EventTimer accumulates wall-clock durations per named phase. It is the
+// analogue of the CUDA-event timing the paper uses for its on-GPU
+// measurements (§5.1): every kernel launch is bracketed and attributed to
+// one of the pipeline phases (parse, scan, tag, partition, convert).
+type EventTimer struct {
+	mu     sync.Mutex
+	phases map[string]time.Duration
+	counts map[string]int64
+	now    func() time.Time
+}
+
+// NewEventTimer returns an empty timer.
+func NewEventTimer() *EventTimer {
+	return &EventTimer{
+		phases: make(map[string]time.Duration),
+		counts: make(map[string]int64),
+		now:    time.Now,
+	}
+}
+
+// Start begins timing phase and returns a function that stops the
+// measurement and accumulates it.
+func (t *EventTimer) Start(phase string) (stop func()) {
+	begin := t.now()
+	return func() {
+		t.Add(phase, t.now().Sub(begin))
+	}
+}
+
+// Add accumulates d into phase.
+func (t *EventTimer) Add(phase string, d time.Duration) {
+	t.mu.Lock()
+	t.phases[phase] += d
+	t.counts[phase]++
+	t.mu.Unlock()
+}
+
+// Phase returns the accumulated duration for phase.
+func (t *EventTimer) Phase(phase string) time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.phases[phase]
+}
+
+// Count returns the number of measurements recorded for phase.
+func (t *EventTimer) Count(phase string) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.counts[phase]
+}
+
+// Total returns the sum over all phases.
+func (t *EventTimer) Total() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var sum time.Duration
+	for _, d := range t.phases {
+		sum += d
+	}
+	return sum
+}
+
+// Snapshot returns a copy of the per-phase durations.
+func (t *EventTimer) Snapshot() map[string]time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]time.Duration, len(t.phases))
+	for k, v := range t.phases {
+		out[k] = v
+	}
+	return out
+}
+
+// Phases returns the recorded phase names in sorted order.
+func (t *EventTimer) Phases() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	names := make([]string, 0, len(t.phases))
+	for k := range t.phases {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Reset clears all measurements.
+func (t *EventTimer) Reset() {
+	t.mu.Lock()
+	t.phases = make(map[string]time.Duration)
+	t.counts = make(map[string]int64)
+	t.mu.Unlock()
+}

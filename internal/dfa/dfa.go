@@ -1,0 +1,223 @@
+// Package dfa implements the deterministic finite automata that encode
+// ParPaRaw's parsing rules (§3.1). Unlike format-specific parsers, the
+// algorithm simulates an arbitrary user-supplied DFA, which is what makes
+// it applicable to CSVs with quoting and escaping, log formats with
+// comments and directives, and similar delimiter-separated inputs.
+//
+// A Machine couples three tables indexed by (symbol group, state):
+//
+//   - the transition table (Table 1): the next state,
+//   - the emission table: whether reading that symbol in that state
+//     delimits a record, delimits a field, or is a control symbol that is
+//     not part of any field value,
+//   - the symbol-group mapping: a handful of interesting symbols (line
+//     break, quote, delimiter, …) plus a catch-all group, resolved either
+//     with the branchless SWAR matcher of §4.5 or a 256-entry lookup
+//     table (the ablation variant).
+package dfa
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/statevec"
+)
+
+// State is a DFA state index.
+type State = uint8
+
+// Emission describes how the symbol just read must be interpreted, given
+// the state it was read in. The three flags correspond to the three
+// bitmap indexes of §3.1.
+type Emission uint8
+
+const (
+	// EmitData marks a symbol that is part of a field's value. It is the
+	// absence of Control (kept explicit for readable tables).
+	EmitData Emission = 0
+	// EmitRecordDelim marks a symbol that delimits a record.
+	EmitRecordDelim Emission = 1 << iota
+	// EmitFieldDelim marks a symbol that delimits a field (record
+	// delimiters also end the current field but are tagged only with
+	// EmitRecordDelim; offset computation treats them separately, §3.2).
+	EmitFieldDelim
+	// EmitControl marks a symbol that is not part of any field value
+	// (delimiters, enclosing quotes, escape introducers, comment text).
+	EmitControl
+)
+
+// IsRecordDelim reports whether the symbol delimits a record.
+func (e Emission) IsRecordDelim() bool { return e&EmitRecordDelim != 0 }
+
+// IsFieldDelim reports whether the symbol delimits a field.
+func (e Emission) IsFieldDelim() bool { return e&EmitFieldDelim != 0 }
+
+// IsControl reports whether the symbol is excluded from field values.
+func (e Emission) IsControl() bool { return e&EmitControl != 0 }
+
+// IsData reports whether the symbol belongs to a field's value.
+func (e Emission) IsData() bool { return e&EmitControl == 0 }
+
+func (e Emission) String() string {
+	switch {
+	case e.IsRecordDelim():
+		return "record-delim"
+	case e.IsFieldDelim():
+		return "field-delim"
+	case e.IsControl():
+		return "control"
+	default:
+		return "data"
+	}
+}
+
+// MatchStrategy selects how a read byte is mapped to its symbol group.
+type MatchStrategy int
+
+const (
+	// MatchSWAR uses the branchless SWAR matcher of §4.5 (the paper's
+	// approach; keeps the symbols "in registers").
+	MatchSWAR MatchStrategy = iota
+	// MatchTable uses a 256-entry lookup table (the alternative §4.5
+	// rejects on GPUs for register pressure; on a CPU it is the faster
+	// choice and serves as the ablation baseline).
+	MatchTable
+)
+
+// Machine is an immutable, compiled DFA. Machines are safe for concurrent
+// use — simulation state lives entirely in the caller.
+type Machine struct {
+	numStates  int
+	start      State
+	stateNames []string
+	accepting  []bool
+	midRecord  []bool
+	invalid    State // sink state entered on invalid transitions
+	hasInvalid bool
+
+	symbols []byte // group g < len(symbols) matches symbols[g]; last group is catch-all
+	matcher *device.SWARMatcher
+	table   [256]uint8 // byte -> group, for MatchTable
+	strat   MatchStrategy
+
+	groups int     // len(symbols) + 1
+	trans  []State // trans[g*numStates+s] = next state (row per group: Table 1 layout)
+	emit   []Emission
+}
+
+// NumStates returns |S|.
+func (m *Machine) NumStates() int { return m.numStates }
+
+// NumGroups returns the number of symbol groups including the catch-all.
+func (m *Machine) NumGroups() int { return m.groups }
+
+// Start returns the machine's start state (the state a sequential parser
+// would begin the whole input in).
+func (m *Machine) Start() State { return m.start }
+
+// StateName returns the human-readable name of s.
+func (m *Machine) StateName(s State) string {
+	if int(s) < len(m.stateNames) {
+		return m.stateNames[s]
+	}
+	return fmt.Sprintf("s%d", s)
+}
+
+// Accepting reports whether ending the input in s is valid.
+func (m *Machine) Accepting(s State) bool { return m.accepting[s] }
+
+// MidRecord reports whether ending the input in s leaves an unterminated
+// trailing record.
+func (m *Machine) MidRecord(s State) bool { return m.midRecord[s] }
+
+// InvalidState returns the sink state for invalid transitions and whether
+// the machine declares one.
+func (m *Machine) InvalidState() (State, bool) { return m.invalid, m.hasInvalid }
+
+// IsInvalid reports whether s is the invalid sink state.
+func (m *Machine) IsInvalid(s State) bool { return m.hasInvalid && s == m.invalid }
+
+// Symbols returns the lookup symbols; group i matches Symbols()[i] and
+// the catch-all group index is len(Symbols()).
+func (m *Machine) Symbols() []byte {
+	out := make([]byte, len(m.symbols))
+	copy(out, m.symbols)
+	return out
+}
+
+// SetMatchStrategy returns a copy of the machine using the given symbol
+// matching strategy.
+func (m *Machine) SetMatchStrategy(s MatchStrategy) *Machine {
+	c := *m
+	c.strat = s
+	return &c
+}
+
+// Group maps a byte to its symbol group using the configured strategy.
+func (m *Machine) Group(b byte) uint32 {
+	if m.strat == MatchTable {
+		return uint32(m.table[b])
+	}
+	return m.matcher.Index(b)
+}
+
+// Next returns the state reached from s on reading b.
+func (m *Machine) Next(s State, b byte) State {
+	return m.trans[int(m.Group(b))*m.numStates+int(s)]
+}
+
+// NextByGroup returns the state reached from s on reading a symbol of
+// group g — the coalesced row access of §4.5.
+func (m *Machine) NextByGroup(s State, g uint32) State {
+	return m.trans[int(g)*m.numStates+int(s)]
+}
+
+// Emission returns how a symbol of group g read in state s must be
+// interpreted.
+func (m *Machine) Emission(s State, g uint32) Emission {
+	return m.emit[int(g)*m.numStates+int(s)]
+}
+
+// Row returns the transition-table row for group g: a slice of length
+// NumStates mapping current state to next state. The returned slice
+// aliases the machine's table and must not be modified.
+func (m *Machine) Row(g uint32) []State {
+	return m.trans[int(g)*m.numStates : (int(g)+1)*m.numStates]
+}
+
+// ChunkVector simulates one DFA instance per state over the chunk and
+// returns the resulting state-transition vector (§3.1, Figure 3):
+// out[i] = state reached from start state i after reading all of chunk.
+func (m *Machine) ChunkVector(chunk []byte) statevec.Vector {
+	v := statevec.Identity(m.numStates)
+	for _, b := range chunk {
+		row := m.Row(m.Group(b))
+		for i := range v {
+			v[i] = row[v[i]]
+		}
+	}
+	return v
+}
+
+// Run simulates a single DFA instance from state s over input and returns
+// the final state (the sequential reference path).
+func (m *Machine) Run(s State, input []byte) State {
+	for _, b := range input {
+		s = m.trans[int(m.Group(b))*m.numStates+int(s)]
+	}
+	return s
+}
+
+// Validate runs the machine sequentially over input from its start state
+// and reports whether the input is well-formed: no invalid transition and
+// an accepting end state (§4.3 "Validating format").
+func (m *Machine) Validate(input []byte) error {
+	s := m.Run(m.start, input)
+	if m.IsInvalid(s) {
+		return fmt.Errorf("dfa: input reaches invalid state %q", m.StateName(s))
+	}
+	if !m.Accepting(s) {
+		return fmt.Errorf("dfa: input ends in non-accepting state %q", m.StateName(s))
+	}
+	return nil
+}

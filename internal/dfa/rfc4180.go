@@ -1,0 +1,174 @@
+package dfa
+
+// This file defines the RFC 4180 CSV machine of Table 1 plus common
+// variants. The six states follow the paper's naming:
+//
+//	EOR  just consumed a record delimiter (also the start state)
+//	ENC  inside an enclosed (double-quoted) field
+//	FLD  inside an unenclosed field
+//	EOF  just consumed a field delimiter ("end of field")
+//	ESC  consumed a quote while enclosed: either the closing quote or the
+//	     first half of an escaped quote ""
+//	INV  invalid input (sink)
+const (
+	StateEOR State = iota
+	StateENC
+	StateFLD
+	StateEOF
+	StateESC
+	StateINV
+
+	// NumCSVStates is |S| for the RFC 4180 machine.
+	NumCSVStates = 6
+)
+
+// CSVOptions parameterise the RFC 4180 machine.
+type CSVOptions struct {
+	// FieldDelim is the field delimiter. Defaults to ','.
+	FieldDelim byte
+	// RecordDelim is the record delimiter. Defaults to '\n'. For CRLF
+	// inputs, additionally set CarriageReturn.
+	RecordDelim byte
+	// Quote is the enclosing symbol. Defaults to '"'.
+	Quote byte
+	// Comment, when non-zero, declares a line-comment symbol: a record
+	// beginning with it is consumed (as control symbols) until the next
+	// record delimiter — the "more involved parsing rules" (comments,
+	// directives) that break quote-counting parsers (§1, §2).
+	Comment byte
+	// CarriageReturn, when true, treats '\r' immediately before the
+	// record delimiter (and only there) as a control symbol, accepting
+	// CRLF-terminated inputs.
+	CarriageReturn bool
+}
+
+func (o CSVOptions) withDefaults() CSVOptions {
+	if o.FieldDelim == 0 {
+		o.FieldDelim = ','
+	}
+	if o.RecordDelim == 0 {
+		o.RecordDelim = '\n'
+	}
+	if o.Quote == 0 {
+		o.Quote = '"'
+	}
+	return o
+}
+
+// RFC4180 returns the six-state machine of Table 1: a DFA capable of
+// parsing any RFC 4180 compliant input (§5), with all fields optionally
+// enclosed in double quotes, "" escapes inside enclosed fields, and
+// delimiters inside enclosed fields treated as data.
+func RFC4180() *Machine {
+	return NewCSV(CSVOptions{})
+}
+
+// NewCSV builds an RFC 4180-style machine with the given options. The
+// transition table for the default options reproduces Table 1 exactly
+// (plus the emission metadata the paper describes in §3.1).
+func NewCSV(opts CSVOptions) *Machine {
+	o := opts.withDefaults()
+	b := NewBuilder()
+	eor := b.State("EOR", Accepting(true))
+	enc := b.State("ENC", MidRecord())
+	fld := b.State("FLD", Accepting(true), MidRecord())
+	eof := b.State("EOF", Accepting(true), MidRecord())
+	esc := b.State("ESC", Accepting(true), MidRecord())
+	inv := b.State("INV", Invalid())
+
+	var cmt State
+	hasComment := o.Comment != 0
+	if hasComment {
+		cmt = b.State("CMT", Accepting(true))
+	}
+
+	nl := b.Group(o.RecordDelim)
+	qt := b.Group(o.Quote)
+	fd := b.Group(o.FieldDelim)
+	var cg int
+	if hasComment {
+		cg = b.Group(o.Comment)
+	}
+	var cr int
+	if o.CarriageReturn {
+		cr = b.Group('\r')
+	}
+	star := b.CatchAll()
+
+	recDelim := EmitRecordDelim | EmitControl
+	fldDelim := EmitFieldDelim | EmitControl
+
+	// Record delimiter row (Table 1, row '\n').
+	b.On(nl, eor, eor, recDelim)
+	b.On(nl, enc, enc, EmitData) // line break inside quotes is data
+	b.On(nl, fld, eor, recDelim)
+	b.On(nl, eof, eor, recDelim)
+	b.On(nl, esc, eor, recDelim)
+	b.On(nl, inv, inv, EmitControl)
+	if hasComment {
+		// The newline terminating a comment line returns to record start
+		// but delimits no record: comment lines leave no record footprint
+		// (zero symbols, zero delimiters), so they vanish from the output
+		// without any post-filtering.
+		b.On(nl, cmt, eor, EmitControl)
+	}
+
+	// Quote row (Table 1, row '"').
+	b.On(qt, eor, enc, EmitControl) // opening quote
+	b.On(qt, enc, esc, EmitControl) // tentative closing quote
+	b.On(qt, fld, inv, EmitControl) // bare quote inside unquoted field: invalid
+	b.On(qt, eof, enc, EmitControl) // opening quote after field delimiter
+	b.On(qt, esc, enc, EmitData)    // "" escape: second quote is a literal
+	b.On(qt, inv, inv, EmitControl)
+	if hasComment {
+		b.On(qt, cmt, cmt, EmitControl)
+	}
+
+	// Field delimiter row (Table 1, row ',').
+	b.On(fd, eor, eof, fldDelim)
+	b.On(fd, enc, enc, EmitData) // delimiter inside quotes is data
+	b.On(fd, fld, eof, fldDelim)
+	b.On(fd, eof, eof, fldDelim)
+	b.On(fd, esc, eof, fldDelim)
+	b.On(fd, inv, inv, EmitControl)
+	if hasComment {
+		b.On(fd, cmt, cmt, EmitControl)
+	}
+
+	// Comment symbol row: starts a comment only at record start.
+	if hasComment {
+		b.On(cg, eor, cmt, EmitControl)
+		b.On(cg, enc, enc, EmitData)
+		b.On(cg, fld, fld, EmitData)
+		b.On(cg, eof, fld, EmitData) // '#' mid-record is ordinary data
+		b.On(cg, esc, inv, EmitControl)
+		b.On(cg, inv, inv, EmitControl)
+		b.On(cg, cmt, cmt, EmitControl)
+	}
+
+	// Carriage-return row: control before the record delimiter.
+	if o.CarriageReturn {
+		b.On(cr, eor, eor, EmitControl)
+		b.On(cr, enc, enc, EmitData)
+		b.On(cr, fld, fld, EmitControl)
+		b.On(cr, eof, eof, EmitControl)
+		b.On(cr, esc, esc, EmitControl)
+		b.On(cr, inv, inv, EmitControl)
+		if hasComment {
+			b.On(cr, cmt, cmt, EmitControl)
+		}
+	}
+
+	// Catch-all row (Table 1, row '*').
+	b.On(star, eor, fld, EmitData)
+	b.On(star, enc, enc, EmitData)
+	b.On(star, fld, fld, EmitData)
+	b.On(star, eof, fld, EmitData)
+	b.On(star, esc, inv, EmitControl) // garbage after closing quote
+	b.On(star, inv, inv, EmitControl)
+	if hasComment {
+		b.On(star, cmt, cmt, EmitControl)
+	}
+
+	return b.MustBuild(eor)
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/dfa"
+)
+
+// Table1 prints the RFC 4180 transition table in the paper's layout: one
+// row per symbol group, one column per state (Table 1). The machine adds
+// emission metadata (record/field/control flags) that the paper
+// describes in §3.1 but does not show in the table.
+func Table1(cfg Config) error {
+	m := dfa.RFC4180()
+	fmt.Fprintf(cfg.Out, "states: %d, symbol groups: %d (last is catch-all '*')\n\n", m.NumStates(), m.NumGroups())
+
+	fmt.Fprintf(cfg.Out, "%-8s", "symbol")
+	for s := 0; s < m.NumStates(); s++ {
+		fmt.Fprintf(cfg.Out, "%-6s", m.StateName(dfa.State(s)))
+	}
+	fmt.Fprintln(cfg.Out)
+	syms := m.Symbols()
+	for g := 0; g < m.NumGroups(); g++ {
+		label := "*"
+		if g < len(syms) {
+			label = fmt.Sprintf("%q", syms[g])
+		}
+		fmt.Fprintf(cfg.Out, "%-8s", label)
+		row := m.Row(uint32(g))
+		for s := 0; s < m.NumStates(); s++ {
+			fmt.Fprintf(cfg.Out, "%-6s", m.StateName(row[s]))
+		}
+		fmt.Fprintln(cfg.Out)
+	}
+	return nil
+}
+
+// Table2 replays the SWAR worked example of Table 2: matching the read
+// symbol ',' against the lookup registers holding {'\t','|',',','"','\n'}
+// and printing every intermediate value of the branchless match.
+func Table2(cfg Config) error {
+	symbols := []byte{'\n', '"', ',', '|', '\t'}
+	m := device.NewSWARMatcher(symbols)
+	read := byte(',')
+
+	fmt.Fprintf(cfg.Out, "lookup symbols: %q  (catch-all group = %d)\n", symbols, m.Symbols())
+	fmt.Fprintf(cfg.Out, "read symbol:    %q  (s-register = 0x%08X)\n\n", read, device.ReplicateByte(read))
+	fmt.Fprintf(cfg.Out, "%-4s %-12s %-12s %-12s %-12s\n", "reg", "LU-register", "c=LU^s", "swar=H(c)", "bfind>>3")
+	for reg, lu := range m.LookupRegisters() {
+		xor, swar, idx := m.IndexRegister(reg, read)
+		fmt.Fprintf(cfg.Out, "%-4d 0x%08X   0x%08X   0x%08X   0x%08X\n", reg, lu, xor, swar, idx)
+	}
+	fmt.Fprintf(cfg.Out, "\nmatched group index = %d (paper: 0x00000002 for ',')\n", m.Index(read))
+	fmt.Fprintf(cfg.Out, "unmatched example %q -> catch-all group %d\n", byte('x'), m.Index('x'))
+	return nil
+}
+
+// Fig8 prints the multi-fragment in-register array layout for the
+// paper's worked example: ten items of five bits each (Figure 8).
+func Fig8(cfg Config) error {
+	layout, err := device.PlanMFIRA(10, 5)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.Out, "num. items c           %d\n", layout.Items)
+	fmt.Fprintf(cfg.Out, "bits per item b        %d\n", layout.BitsPerItem)
+	fmt.Fprintf(cfg.Out, "avail. bits per frag a %d\n", layout.AvailBits)
+	fmt.Fprintf(cfg.Out, "bits per fragment k    %d\n", layout.FragmentBits)
+	fmt.Fprintf(cfg.Out, "fragments              %d\n", layout.Fragments)
+	fmt.Fprintf(cfg.Out, "registers              %d\n", layout.Fragments)
+
+	// Round-trip the paper's example values through the structure.
+	arr := device.MustMFIRA(10, 5)
+	values := []uint32{5, 7, 31, 20, 10, 0, 26, 3, 15, 16}
+	for i, v := range values {
+		arr.Set(i, v)
+	}
+	fmt.Fprintf(cfg.Out, "\nstored  %v\n", values)
+	got := make([]uint32, len(values))
+	for i := range values {
+		got[i] = arr.Get(i)
+	}
+	fmt.Fprintf(cfg.Out, "read    %v\n", got)
+	fmt.Fprintf(cfg.Out, "registers (physical view):")
+	for _, r := range arr.Registers() {
+		fmt.Fprintf(cfg.Out, " 0x%08X", r)
+	}
+	fmt.Fprintln(cfg.Out)
+	return nil
+}

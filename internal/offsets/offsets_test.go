@@ -1,0 +1,164 @@
+package offsets
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/device"
+)
+
+func randOffset(rng *rand.Rand) ColumnOffset {
+	k := Rel
+	if rng.Intn(2) == 0 {
+		k = Abs
+	}
+	return ColumnOffset{Kind: k, Value: rng.Intn(20)}
+}
+
+// TestCombineFigure4 replays the per-chunk column offsets of Figure 4:
+// chunks contribute (rel 1)(rel 1)(abs 0)(rel 1)(rel 0)(rel 0) and the
+// exclusive scan must yield starting offsets 0,1,2,0,1,1.
+func TestCombineFigure4(t *testing.T) {
+	perChunk := []ColumnOffset{
+		{Rel, 1}, {Rel, 1}, {Abs, 0}, {Rel, 1}, {Rel, 0}, {Rel, 0},
+	}
+	want := []int{0, 1, 2, 0, 1, 1}
+	d := device.New(device.Config{Workers: 2})
+	dst := make([]ColumnOffset, len(perChunk))
+	ExclusiveColumnScan(d, "t", perChunk, dst)
+	for i, w := range want {
+		if dst[i].Value != w {
+			t.Errorf("chunk %d start column = %v, want %d", i, dst[i], w)
+		}
+	}
+	// Paper figure also labels the resolved offsets abs 0, abs 1, abs 2,
+	// abs 1 (wrapping the abs of chunk 2), etc. Chunks at or after the
+	// first absolute contribution must be absolute.
+	for i := 3; i < len(dst); i++ {
+		if dst[i].Kind != Abs {
+			t.Errorf("chunk %d kind = %v, want abs", i, dst[i].Kind)
+		}
+	}
+}
+
+func TestCombineDefinition(t *testing.T) {
+	a := ColumnOffset{Rel, 3}
+	if got := Combine(a, ColumnOffset{Abs, 7}); got != (ColumnOffset{Abs, 7}) {
+		t.Errorf("abs right operand must win: %v", got)
+	}
+	if got := Combine(a, ColumnOffset{Rel, 2}); got != (ColumnOffset{Rel, 5}) {
+		t.Errorf("rel accumulates: %v", got)
+	}
+	if got := Combine(ColumnOffset{Abs, 4}, ColumnOffset{Rel, 2}); got != (ColumnOffset{Abs, 6}) {
+		t.Errorf("abs+rel keeps abs kind: %v", got)
+	}
+}
+
+// TestCombineAssociativityQuick: the operator must be associative for the
+// parallel scan to be valid (§3.2).
+func TestCombineAssociativityQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, c := randOffset(rng), randOffset(rng), randOffset(rng)
+		return Combine(Combine(a, b), c) == Combine(a, Combine(b, c))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIdentityNeutral(t *testing.T) {
+	id := Op().Identity
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		x := randOffset(rng)
+		if Combine(id, x) != x {
+			t.Fatalf("id⊕x != x for %v", x)
+		}
+		if Combine(x, id) != x {
+			t.Fatalf("x⊕id != x for %v", x)
+		}
+	}
+}
+
+// TestColumnScanMatchesSequentialWalk cross-checks the parallel scan with
+// a direct sequential interpretation: walk chunks left to right tracking
+// the current column, resetting at absolute offsets.
+func TestColumnScanMatchesSequentialWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	d := device.New(device.Config{Workers: 4})
+	for _, n := range []int{1, 3, 100, 7000} {
+		perChunk := make([]ColumnOffset, n)
+		for i := range perChunk {
+			perChunk[i] = randOffset(rng)
+		}
+		dst := make([]ColumnOffset, n)
+		ExclusiveColumnScan(d, "t", perChunk, dst)
+
+		cur := ColumnOffset{Rel, 0}
+		for i := 0; i < n; i++ {
+			if dst[i] != cur {
+				t.Fatalf("n=%d chunk %d: scan %v, walk %v", n, i, dst[i], cur)
+			}
+			cur = Combine(cur, perChunk[i])
+		}
+	}
+}
+
+func TestRecordScan(t *testing.T) {
+	d := device.New(device.Config{Workers: 4})
+	counts := []int64{2, 0, 1, 3, 0}
+	dst := make([]int64, len(counts))
+	total := ExclusiveRecordScan(d, "t", counts, dst)
+	if total != 6 {
+		t.Errorf("total = %d, want 6", total)
+	}
+	want := []int64{0, 2, 2, 3, 6}
+	for i, w := range want {
+		if dst[i] != w {
+			t.Errorf("record offset[%d] = %d, want %d", i, dst[i], w)
+		}
+	}
+}
+
+func TestMinMaxObserveMerge(t *testing.T) {
+	var m MinMax
+	if m.Valid {
+		t.Error("zero MinMax must be invalid")
+	}
+	m.Observe(5)
+	m.Observe(3)
+	m.Observe(7)
+	if !m.Valid || m.Min != 3 || m.Max != 7 {
+		t.Errorf("after observes: %+v", m)
+	}
+
+	var o MinMax
+	o.Observe(1)
+	m.Merge(o)
+	if m.Min != 1 || m.Max != 7 {
+		t.Errorf("after merge: %+v", m)
+	}
+
+	var empty MinMax
+	m.Merge(empty) // merging invalid is a no-op
+	if m.Min != 1 || m.Max != 7 {
+		t.Errorf("merge of invalid changed state: %+v", m)
+	}
+
+	var dst MinMax
+	dst.Merge(m) // merging into invalid adopts
+	if !dst.Valid || dst.Min != 1 || dst.Max != 7 {
+		t.Errorf("adopting merge: %+v", dst)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Rel.String() != "rel" || Abs.String() != "abs" {
+		t.Error("Kind.String broken")
+	}
+	if got := (ColumnOffset{Abs, 3}).String(); got != "abs 3" {
+		t.Errorf("ColumnOffset.String = %q", got)
+	}
+}

@@ -1,0 +1,113 @@
+package pcie
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func fastBus() *Bus {
+	// 1 GB/s modelled, but scaled 1000x so tests run in microseconds.
+	return New(Config{BandwidthHtoD: 1e9, BandwidthDtoH: 1e9, Latency: time.Millisecond, TimeScale: 1000})
+}
+
+func TestTransferDuration(t *testing.T) {
+	b := New(Config{BandwidthHtoD: 1e9, BandwidthDtoH: 2e9, Latency: time.Millisecond})
+	if got := b.TransferDuration(HostToDevice, 1e9); got != time.Second+time.Millisecond {
+		t.Errorf("HtoD duration = %v", got)
+	}
+	if got := b.TransferDuration(DeviceToHost, 1e9); got != 500*time.Millisecond+time.Millisecond {
+		t.Errorf("DtoH duration = %v", got)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	b := Default()
+	cfg := b.Config()
+	if cfg.BandwidthHtoD != DefaultBandwidth || cfg.BandwidthDtoH != DefaultBandwidth {
+		t.Error("default bandwidth wrong")
+	}
+	if cfg.Latency != DefaultLatency {
+		t.Error("default latency wrong")
+	}
+	if cfg.TimeScale != 1 {
+		t.Error("default timescale wrong")
+	}
+	// Negative latency disables it.
+	if New(Config{Latency: -1}).Config().Latency != 0 {
+		t.Error("negative latency must disable")
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	b := fastBus()
+	b.Transfer(HostToDevice, 1000)
+	b.Transfer(HostToDevice, 2000)
+	b.Transfer(DeviceToHost, 500)
+	h := b.DirectionStats(HostToDevice)
+	if h.Bytes != 3000 || h.Transfers != 2 {
+		t.Errorf("HtoD stats = %+v", h)
+	}
+	d := b.DirectionStats(DeviceToHost)
+	if d.Bytes != 500 || d.Transfers != 1 {
+		t.Errorf("DtoH stats = %+v", d)
+	}
+	if h.Busy <= 0 || d.Busy <= 0 {
+		t.Error("busy time must accumulate modelled (unscaled) durations")
+	}
+	b.Reset()
+	if b.DirectionStats(HostToDevice).Bytes != 0 {
+		t.Error("reset failed")
+	}
+}
+
+// TestFullDuplexOverlap verifies the property the streaming pipeline
+// depends on: opposite-direction transfers overlap, same-direction
+// transfers serialise.
+func TestFullDuplexOverlap(t *testing.T) {
+	// Modelled 50ms per transfer, scale 1 → real time.
+	b := New(Config{BandwidthHtoD: 1e9, BandwidthDtoH: 1e9, Latency: -1, TimeScale: 1})
+	const bytes = 50_000_000 // 50ms at 1GB/s
+
+	// Opposite directions: two 50ms transfers should take ~50ms.
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); b.Transfer(HostToDevice, bytes) }()
+	go func() { defer wg.Done(); b.Transfer(DeviceToHost, bytes) }()
+	wg.Wait()
+	overlap := time.Since(start)
+
+	// Same direction: two 50ms transfers should take ~100ms.
+	start = time.Now()
+	wg.Add(2)
+	go func() { defer wg.Done(); b.Transfer(HostToDevice, bytes) }()
+	go func() { defer wg.Done(); b.Transfer(HostToDevice, bytes) }()
+	wg.Wait()
+	serial := time.Since(start)
+
+	if overlap >= serial {
+		t.Errorf("full-duplex overlap (%v) not faster than same-direction serialisation (%v)", overlap, serial)
+	}
+	if serial < 90*time.Millisecond {
+		t.Errorf("same-direction transfers did not serialise: %v", serial)
+	}
+	if overlap > 90*time.Millisecond {
+		t.Errorf("opposite-direction transfers did not overlap: %v", overlap)
+	}
+}
+
+func TestNegativeTransferPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	fastBus().Transfer(HostToDevice, -1)
+}
+
+func TestDirectionString(t *testing.T) {
+	if HostToDevice.String() != "HtoD" || DeviceToHost.String() != "DtoH" {
+		t.Error("Direction.String broken")
+	}
+}

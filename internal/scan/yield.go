@@ -1,0 +1,9 @@
+package scan
+
+import "runtime"
+
+// yield lets a predecessor tile's goroutine make progress while this tile
+// is blocked in look-back. On the GPU this is a busy-wait on a descriptor
+// flag; under the goroutine scheduler, yielding is both faithful and
+// polite.
+func yield() { runtime.Gosched() }

@@ -1,0 +1,182 @@
+// Package statevec implements state-transition vectors and their
+// composite operation (§3.1, Figure 3), the mechanism that lets ParPaRaw
+// determine every chunk's parsing context without a sequential pass.
+//
+// A chunk's state-transition vector v answers: "if the DFA had entered
+// this chunk in state i, it would leave it in state v[i]". The composite
+// a∘b chains two chunks: (a∘b)[i] = b[a[i]]. Composition is associative
+// but not commutative, so an exclusive parallel scan (seeded with the
+// identity vector) over all chunk vectors yields, for every chunk, the
+// function from the input's true start state to that chunk's start state.
+package statevec
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/device"
+	"repro/internal/scan"
+)
+
+// MaxStates bounds the number of DFA states a vector can hold. The bound
+// exists so vectors can be backed by MFIRA registers on the simulated
+// device (Figure 8: at most 32 one-bit-fragment items per register); 16
+// states × 4 bits fits comfortably and covers every format in the paper
+// (the RFC 4180 DFA has 6 states).
+const MaxStates = 16
+
+// Vector is a state-transition vector: Vector[i] is the final state of
+// the DFA instance that started in state i. The length is the DFA's state
+// count |S|.
+type Vector []uint8
+
+// Identity returns the identity vector for states states: v[i] = i.
+func Identity(states int) Vector {
+	v := make(Vector, states)
+	for i := range v {
+		v[i] = uint8(i)
+	}
+	return v
+}
+
+// Compose returns a∘b into dst: dst[i] = b[a[i]] — "run chunk A from
+// state i, then run chunk B from wherever A ended" (§3.1). dst may alias
+// a. a and b must have equal length.
+func Compose(dst, a, b Vector) {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic(fmt.Sprintf("statevec: length mismatch dst=%d a=%d b=%d", len(dst), len(a), len(b)))
+	}
+	for i := range a {
+		dst[i] = b[a[i]]
+	}
+}
+
+// Composed returns a freshly allocated a∘b.
+func Composed(a, b Vector) Vector {
+	dst := make(Vector, len(a))
+	Compose(dst, a, b)
+	return dst
+}
+
+// Clone returns a copy of v.
+func (v Vector) Clone() Vector {
+	c := make(Vector, len(v))
+	copy(c, v)
+	return c
+}
+
+// Equal reports whether v and o hold the same transitions.
+func (v Vector) Equal(o Vector) bool {
+	if len(v) != len(o) {
+		return false
+	}
+	for i := range v {
+		if v[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsIdentity reports whether v maps every state to itself.
+func (v Vector) IsIdentity() bool {
+	for i := range v {
+		if v[i] != uint8(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the vector as e.g. "[0→2 1→2 2→2]".
+func (v Vector) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, s := range v {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d→%d", i, s)
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Op returns the scan operator over vectors of the given state count,
+// with the identity vector as neutral element. Combine allocates the
+// result so scan tiles can retain values safely.
+func Op(states int) scan.Op[Vector] {
+	return scan.Op[Vector]{
+		Identity: Identity(states),
+		Combine: func(a, b Vector) Vector {
+			return Composed(a, b)
+		},
+	}
+}
+
+// ExclusiveScan runs the parallel exclusive composite scan over the chunk
+// vectors in place of dst (which may alias vectors): after the call,
+// dst[c][s] is the state chunk c starts in, given the whole input started
+// in state s. Returns the composite of all vectors (the end state map of
+// the entire input).
+func ExclusiveScan(d *device.Device, phase string, states int, vectors []Vector, dst []Vector) Vector {
+	return scan.Exclusive(d, phase, Op(states), vectors, dst)
+}
+
+// Packed is a Vector stored in a multi-fragment in-register array
+// (Figure 8), as the GPU implementation keeps it. It holds up to
+// MaxStates states of 4 bits each.
+type Packed struct {
+	states int
+	arr    *device.MFIRA
+}
+
+// NewPacked returns a packed identity vector for the given state count.
+func NewPacked(states int) *Packed {
+	if states <= 0 || states > MaxStates {
+		panic(fmt.Sprintf("statevec: state count %d outside [1,%d]", states, MaxStates))
+	}
+	arr := device.MustMFIRA(states, 4)
+	for i := 0; i < states; i++ {
+		arr.Set(i, uint32(i))
+	}
+	return &Packed{states: states, arr: arr}
+}
+
+// Get returns entry i.
+func (p *Packed) Get(i int) uint8 { return uint8(p.arr.Get(i)) }
+
+// Set stores entry i.
+func (p *Packed) Set(i int, s uint8) { p.arr.Set(i, uint32(s)) }
+
+// Len returns the state count.
+func (p *Packed) Len() int { return p.states }
+
+// Transition advances every tracked DFA instance through one transition
+// row: for each start state i, the instance currently in state p[i] moves
+// to row[p[i]]. row is the transition-table row of the read symbol's
+// symbol group (Table 1), itself indexable by current state.
+func (p *Packed) Transition(row func(state uint8) uint8) {
+	for i := 0; i < p.states; i++ {
+		p.arr.Set(i, uint32(row(uint8(p.arr.Get(i)))))
+	}
+}
+
+// Unpack copies the packed vector into a plain Vector.
+func (p *Packed) Unpack() Vector {
+	v := make(Vector, p.states)
+	for i := range v {
+		v[i] = uint8(p.arr.Get(i))
+	}
+	return v
+}
+
+// LoadPacked fills p from a plain vector.
+func (p *Packed) LoadPacked(v Vector) {
+	if len(v) != p.states {
+		panic("statevec: length mismatch")
+	}
+	for i, s := range v {
+		p.arr.Set(i, uint32(s))
+	}
+}

@@ -1,0 +1,228 @@
+package statevec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/device"
+)
+
+func randVector(rng *rand.Rand, states int) Vector {
+	v := make(Vector, states)
+	for i := range v {
+		v[i] = uint8(rng.Intn(states))
+	}
+	return v
+}
+
+func TestIdentity(t *testing.T) {
+	v := Identity(6)
+	if !v.IsIdentity() {
+		t.Error("Identity is not the identity")
+	}
+	for i := 0; i < 6; i++ {
+		if v[i] != uint8(i) {
+			t.Errorf("identity[%d] = %d", i, v[i])
+		}
+	}
+}
+
+// TestComposeDefinition checks a∘b = [b[a0], b[a1], …] against the
+// definition in §3.1.
+func TestComposeDefinition(t *testing.T) {
+	a := Vector{1, 2, 0}
+	b := Vector{2, 2, 1}
+	got := Composed(a, b)
+	want := Vector{b[1], b[2], b[0]} // {2, 1, 2}
+	if !got.Equal(want) {
+		t.Errorf("a∘b = %v, want %v", got, want)
+	}
+}
+
+func TestComposeIdentityNeutral(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		states := 1 + rng.Intn(MaxStates)
+		v := randVector(rng, states)
+		id := Identity(states)
+		if !Composed(id, v).Equal(v) {
+			t.Fatalf("id∘v != v for %v", v)
+		}
+		if !Composed(v, id).Equal(v) {
+			t.Fatalf("v∘id != v for %v", v)
+		}
+	}
+}
+
+// TestComposeAssociativityQuick is the property the whole algorithm rests
+// on: (a∘b)∘c == a∘(b∘c) for arbitrary vectors.
+func TestComposeAssociativityQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		states := 1 + rng.Intn(MaxStates)
+		a, b, c := randVector(rng, states), randVector(rng, states), randVector(rng, states)
+		left := Composed(Composed(a, b), c)
+		right := Composed(a, Composed(b, c))
+		return left.Equal(right)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComposeNotCommutative(t *testing.T) {
+	// Sanity: composition is not commutative in general, so the scan must
+	// not assume it. This pins a concrete witness.
+	a := Vector{1, 1}
+	b := Vector{0, 0}
+	if Composed(a, b).Equal(Composed(b, a)) {
+		t.Error("expected a∘b != b∘a for the witness pair")
+	}
+}
+
+func TestComposeInPlace(t *testing.T) {
+	a := Vector{1, 2, 0}
+	b := Vector{2, 2, 1}
+	want := Composed(a, b)
+	Compose(a, a, b) // dst aliases a
+	if !a.Equal(want) {
+		t.Errorf("in-place compose = %v, want %v", a, want)
+	}
+}
+
+func TestComposeLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic on length mismatch")
+		}
+	}()
+	Compose(make(Vector, 2), Vector{0, 1}, Vector{0, 1, 2})
+}
+
+// TestExclusiveScanMatchesSequentialSimulation builds a random "input"
+// of per-chunk vectors and verifies that the exclusive composite scan
+// gives every chunk the same start state a sequential DFA walk would.
+func TestExclusiveScanMatchesSequentialSimulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	d := device.New(device.Config{Workers: 4})
+	for _, chunks := range []int{1, 2, 7, 100, 5000} {
+		states := 2 + rng.Intn(6)
+		vectors := make([]Vector, chunks)
+		for i := range vectors {
+			vectors[i] = randVector(rng, states)
+		}
+		dst := make([]Vector, chunks)
+		total := ExclusiveScan(d, "t", states, vectors, dst)
+
+		// Sequential reference: walk chunk by chunk from every possible
+		// global start state.
+		for start := 0; start < states; start++ {
+			state := uint8(start)
+			for c := 0; c < chunks; c++ {
+				if got := dst[c][start]; got != state {
+					t.Fatalf("chunks=%d states=%d start=%d chunk=%d: scan says %d, walk says %d",
+						chunks, states, start, c, got, state)
+				}
+				state = vectors[c][state]
+			}
+			if total[start] != state {
+				t.Fatalf("total[%d] = %d, walk says %d", start, total[start], state)
+			}
+		}
+	}
+}
+
+func TestPackedVector(t *testing.T) {
+	p := NewPacked(6)
+	for i := 0; i < 6; i++ {
+		if p.Get(i) != uint8(i) {
+			t.Errorf("packed identity[%d] = %d", i, p.Get(i))
+		}
+	}
+	p.Set(3, 5)
+	if p.Get(3) != 5 {
+		t.Errorf("packed set/get = %d", p.Get(3))
+	}
+	if p.Len() != 6 {
+		t.Errorf("len = %d", p.Len())
+	}
+}
+
+func TestPackedTransition(t *testing.T) {
+	// Row sending every state to state+1 mod 4.
+	p := NewPacked(4)
+	p.Transition(func(s uint8) uint8 { return (s + 1) % 4 })
+	want := Vector{1, 2, 3, 0}
+	if got := p.Unpack(); !got.Equal(want) {
+		t.Errorf("after transition: %v, want %v", got, want)
+	}
+	p.Transition(func(s uint8) uint8 { return (s + 1) % 4 })
+	want = Vector{2, 3, 0, 1}
+	if got := p.Unpack(); !got.Equal(want) {
+		t.Errorf("after two transitions: %v, want %v", got, want)
+	}
+}
+
+// TestPackedMatchesPlainSimulation runs the same random transition
+// sequence through a Packed vector and a plain Vector and demands
+// identical results — MFIRA backing must be observationally equivalent.
+func TestPackedMatchesPlainSimulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 50; trial++ {
+		states := 1 + rng.Intn(MaxStates)
+		p := NewPacked(states)
+		plain := Identity(states)
+		for step := 0; step < 40; step++ {
+			row := make([]uint8, states)
+			for i := range row {
+				row[i] = uint8(rng.Intn(states))
+			}
+			p.Transition(func(s uint8) uint8 { return row[s] })
+			for i := range plain {
+				plain[i] = row[plain[i]]
+			}
+		}
+		if got := p.Unpack(); !got.Equal(plain) {
+			t.Fatalf("states=%d: packed %v, plain %v", states, got, plain)
+		}
+	}
+}
+
+func TestPackedLoadUnpackRoundTrip(t *testing.T) {
+	v := Vector{3, 1, 4, 1, 5}
+	p := NewPacked(5)
+	p.LoadPacked(v)
+	if got := p.Unpack(); !got.Equal(v) {
+		t.Errorf("round trip = %v, want %v", got, v)
+	}
+}
+
+func TestPackedBoundsPanics(t *testing.T) {
+	for _, states := range []int{0, MaxStates + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewPacked(%d): want panic", states)
+				}
+			}()
+			NewPacked(states)
+		}()
+	}
+}
+
+func TestVectorString(t *testing.T) {
+	v := Vector{2, 0}
+	if got := v.String(); got != "[0→2 1→0]" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	v := Vector{1, 2, 3}
+	c := v.Clone()
+	c[0] = 9
+	if v[0] != 1 {
+		t.Error("clone aliases original")
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package stream
+
+// raceEnabled reports that the race detector is active; timing-sensitive
+// tests relax or skip their latency assertions, since instrumentation
+// slows memory traffic by an order of magnitude.
+const raceEnabled = true

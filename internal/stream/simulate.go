@@ -1,0 +1,89 @@
+package stream
+
+import "time"
+
+// SimPartition holds the modelled stage durations of one partition for
+// schedule simulation: host-to-device transfer, device parse, and
+// device-to-host return of the parsed data.
+type SimPartition struct {
+	TransferIn  time.Duration
+	Parse       time.Duration
+	TransferOut time.Duration
+}
+
+// SimResult is the outcome of simulating the Figure 7 pipeline schedule.
+type SimResult struct {
+	// Total is the end-to-end makespan.
+	Total time.Duration
+	// TransferInBusy, ParseBusy, TransferOutBusy are the per-resource
+	// busy sums (each resource is serial; utilisation = busy/Total).
+	TransferInBusy, ParseBusy, TransferOutBusy time.Duration
+}
+
+// Simulate computes the end-to-end duration of streaming the given
+// partitions through the double-buffered pipeline of §4.4 / Figure 7
+// analytically, without sleeping. The dependency structure is exactly
+// the figure's:
+//
+//   - transfers share the serial HtoD bus direction, and the transfer of
+//     partition i+2 additionally waits for the parse of partition i to
+//     release its input buffer (the "copy c/o" edge);
+//   - the device parses one partition at a time, after its transfer, and
+//     partition i+2's parse waits for partition i's return to release
+//     its data buffer;
+//   - returns share the serial DtoH bus direction and follow the parse.
+//
+// Because the two bus directions are independent resources, opposite
+// transfers overlap — the full-duplex property the design exploits.
+func Simulate(parts []SimPartition) SimResult {
+	n := len(parts)
+	if n == 0 {
+		return SimResult{}
+	}
+	endT := make([]time.Duration, n) // transfer (HtoD) completion
+	endP := make([]time.Duration, n) // parse completion
+	endR := make([]time.Duration, n) // return (DtoH) completion
+	var res SimResult
+	for i := 0; i < n; i++ {
+		start := time.Duration(0)
+		if i > 0 {
+			start = endT[i-1] // HtoD direction is serial
+		}
+		if i >= 2 && endP[i-2] > start {
+			start = endP[i-2] // input double-buffer released by parse i-2
+		}
+		endT[i] = start + parts[i].TransferIn
+
+		start = endT[i]
+		if i > 0 && endP[i-1] > start {
+			start = endP[i-1] // one device
+		}
+		if i >= 2 && endR[i-2] > start {
+			start = endR[i-2] // data double-buffer released by return i-2
+		}
+		endP[i] = start + parts[i].Parse
+
+		start = endP[i]
+		if i > 0 && endR[i-1] > start {
+			start = endR[i-1] // DtoH direction is serial
+		}
+		endR[i] = start + parts[i].TransferOut
+
+		res.TransferInBusy += parts[i].TransferIn
+		res.ParseBusy += parts[i].Parse
+		res.TransferOutBusy += parts[i].TransferOut
+	}
+	res.Total = endR[n-1]
+	return res
+}
+
+// SerialDuration returns the no-overlap baseline: the sum of every stage
+// of every partition, i.e. what the run would take if the input were
+// transferred, parsed, and returned strictly one partition at a time.
+func SerialDuration(parts []SimPartition) time.Duration {
+	var sum time.Duration
+	for _, p := range parts {
+		sum += p.TransferIn + p.Parse + p.TransferOut
+	}
+	return sum
+}

@@ -1,0 +1,119 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func uniform(n int, in, parse, out time.Duration) []SimPartition {
+	parts := make([]SimPartition, n)
+	for i := range parts {
+		parts[i] = SimPartition{TransferIn: in, Parse: parse, TransferOut: out}
+	}
+	return parts
+}
+
+func TestSimulateEmpty(t *testing.T) {
+	if got := Simulate(nil); got.Total != 0 {
+		t.Errorf("empty total = %v", got.Total)
+	}
+}
+
+func TestSimulateSinglePartitionIsSerial(t *testing.T) {
+	parts := uniform(1, 10, 20, 30)
+	got := Simulate(parts)
+	if got.Total != 60 {
+		t.Errorf("total = %v, want 60", got.Total)
+	}
+}
+
+func TestSimulateSteadyStatePipelining(t *testing.T) {
+	// Equal stages of duration d: the pipeline fills (2d), then completes
+	// one partition per d. Total = (n + 2) * d.
+	const d = 10 * time.Millisecond
+	for _, n := range []int{2, 3, 6, 50} {
+		got := Simulate(uniform(n, d, d, d)).Total
+		want := time.Duration(n+2) * d
+		if got != want {
+			t.Errorf("n=%d: total = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestSimulateParseBound(t *testing.T) {
+	// Slow parse, fast transfers: total ≈ n*parse + transfer fill/drain.
+	const p = 40 * time.Millisecond
+	const tr = 2 * time.Millisecond
+	got := Simulate(uniform(10, tr, p, tr)).Total
+	want := 10*p + 2*tr
+	if got != want {
+		t.Errorf("total = %v, want %v", got, want)
+	}
+}
+
+func TestSimulateTransferBound(t *testing.T) {
+	// Slow HtoD: the serial input bus dominates; everything else hides
+	// behind it. Total = n*transferIn + parse + out of the last one.
+	const tr = 40 * time.Millisecond
+	const p = 2 * time.Millisecond
+	got := Simulate(uniform(10, tr, p, p)).Total
+	want := 10*tr + p + p
+	if got != want {
+		t.Errorf("total = %v, want %v", got, want)
+	}
+}
+
+func TestSimulateDoubleBufferBackpressure(t *testing.T) {
+	// A giant parse in partition 0 delays the transfer of partition 2
+	// (input buffer not released) but not partition 1's transfer.
+	parts := []SimPartition{
+		{TransferIn: 10, Parse: 1000, TransferOut: 10},
+		{TransferIn: 10, Parse: 10, TransferOut: 10},
+		{TransferIn: 10, Parse: 10, TransferOut: 10},
+	}
+	got := Simulate(parts)
+	// t0: T0 ends 10, P0 ends 1010, R0 ends 1020.
+	// T1 ends 20 (bus free, buffer B free).
+	// T2 needs P0 done (buffer A): starts 1010, ends 1020.
+	// P1 starts max(T1=20, P0=1010) = 1010, ends 1020. R1 ends 1030.
+	// P2 starts max(T2=1020, P1=1020, R0=1020)=1020, ends 1030. R2: max(P2=1030,R1=1030)+10=1040.
+	if got.Total != 1040 {
+		t.Errorf("total = %v, want 1040", got.Total)
+	}
+}
+
+func TestSimulateNeverBeatsResourceBounds(t *testing.T) {
+	// Property: total >= each resource's busy sum; total <= serial sum;
+	// total >= critical path of any single partition.
+	f := func(seed int64, n uint8) bool {
+		rng := newRand(seed)
+		parts := make([]SimPartition, int(n%20)+1)
+		for i := range parts {
+			parts[i] = SimPartition{
+				TransferIn:  time.Duration(rng.Intn(100)+1) * time.Millisecond,
+				Parse:       time.Duration(rng.Intn(100)+1) * time.Millisecond,
+				TransferOut: time.Duration(rng.Intn(100)+1) * time.Millisecond,
+			}
+		}
+		res := Simulate(parts)
+		if res.Total < res.TransferInBusy || res.Total < res.ParseBusy || res.Total < res.TransferOutBusy {
+			return false
+		}
+		if res.Total > SerialDuration(parts) {
+			return false
+		}
+		for _, p := range parts {
+			if res.Total < p.TransferIn+p.Parse+p.TransferOut {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,223 @@
+// Package stream implements the end-to-end streaming extension of §4.4 /
+// Figure 7: the input is split into partitions; each partition is
+// transferred to the device, parsed, and its columnar data returned —
+// with the three stages of consecutive partitions overlapped, exploiting
+// the bus's full-duplex capability. A double buffer bounds device memory:
+// partition i uses buffer i%2, and the transfer of partition i+2 must
+// wait until the parse of partition i has released its input buffer
+// (including the carry-over copy, the "copy c/o" dependency in Figure 7).
+//
+// The carry-over handles records straddling partition boundaries: the
+// parse of partition i reports how many of its bytes belong to complete
+// records; the incomplete tail is prepended to partition i+1's input.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/columnar"
+	"repro/internal/pcie"
+)
+
+// PartitionResult is what parsing one partition yields.
+type PartitionResult struct {
+	// Table holds the partition's complete records in columnar form.
+	Table *columnar.Table
+	// CompleteBytes is the prefix of the partition's input (including
+	// any prepended carry-over) covered by complete records; the rest is
+	// carried over to the next partition.
+	CompleteBytes int
+	// OutputBytes, when positive, overrides the device-to-host transfer
+	// size (defaults to Table.DataBytes()). Lets experiments model the
+	// return volume independently of host-side materialisation.
+	OutputBytes int64
+}
+
+// Parser parses one partition on the device. final is true for the last
+// partition, whose trailing bytes must be consumed as the final record
+// (CompleteBytes is then ignored).
+type Parser interface {
+	ParsePartition(input []byte, final bool) (PartitionResult, error)
+}
+
+// ParserFunc adapts a function to the Parser interface.
+type ParserFunc func(input []byte, final bool) (PartitionResult, error)
+
+// ParsePartition calls f.
+func (f ParserFunc) ParsePartition(input []byte, final bool) (PartitionResult, error) {
+	return f(input, final)
+}
+
+// Config describes the streaming pipeline.
+type Config struct {
+	// PartitionSize is the bytes of raw input per partition (Figure 12's
+	// x-axis). Must be positive.
+	PartitionSize int
+	// Bus is the simulated interconnect; nil uses pcie.Default().
+	Bus *pcie.Bus
+}
+
+// Stats summarises one streaming run.
+type Stats struct {
+	// Duration is the end-to-end wall-clock time of the run.
+	Duration time.Duration
+	// Partitions is the number of partitions processed.
+	Partitions int
+	// InputBytes and OutputBytes are the raw and parsed volumes moved
+	// over the bus.
+	InputBytes  int64
+	OutputBytes int64
+	// ParseBusy is the cumulative time the device spent parsing.
+	ParseBusy time.Duration
+	// MaxCarryOver is the largest carry-over observed (bytes).
+	MaxCarryOver int
+}
+
+// Result is the outcome of a streaming run: one table per partition (in
+// order) plus run statistics.
+type Result struct {
+	Tables []*columnar.Table
+	Stats  Stats
+}
+
+// Run streams input through the pipeline. It returns the per-partition
+// tables in input order.
+func Run(cfg Config, parser Parser, input []byte) (*Result, error) {
+	if cfg.PartitionSize <= 0 {
+		return nil, errors.New("stream: partition size must be positive")
+	}
+	bus := cfg.Bus
+	if bus == nil {
+		bus = pcie.Default()
+	}
+	partitions := (len(input) + cfg.PartitionSize - 1) / cfg.PartitionSize
+	if partitions == 0 {
+		partitions = 1
+	}
+
+	start := time.Now()
+
+	type parsed struct {
+		idx   int
+		table *columnar.Table
+		bytes int64
+		err   error
+	}
+
+	// Double-buffer tokens: transfer of partition i+2 waits for parse of
+	// partition i (input buffers), and parse of partition i+2 waits for
+	// return of partition i (data buffers).
+	inputTokens := make(chan struct{}, 2)
+	dataTokens := make(chan struct{}, 2)
+	inputTokens <- struct{}{}
+	inputTokens <- struct{}{}
+	dataTokens <- struct{}{}
+	dataTokens <- struct{}{}
+
+	transferred := make(chan int, 1) // partition indices whose input arrived
+	toReturn := make(chan parsed, 1) // parsed partitions awaiting DtoH
+	done := make(chan error, 1)
+	quit := make(chan struct{}) // closed on parse error so stage 1 exits
+
+	// Stage 1: transfer raw partitions host→device.
+	go func() {
+		defer close(transferred)
+		for i := 0; i < partitions; i++ {
+			select {
+			case <-inputTokens:
+			case <-quit:
+				return
+			}
+			lo := i * cfg.PartitionSize
+			hi := lo + cfg.PartitionSize
+			if hi > len(input) {
+				hi = len(input)
+			}
+			bus.Transfer(pcie.HostToDevice, int64(hi-lo))
+			select {
+			case transferred <- i:
+			case <-quit:
+				return
+			}
+		}
+	}()
+
+	stats := Stats{Partitions: partitions, InputBytes: int64(len(input))}
+	tables := make([]*columnar.Table, 0, partitions)
+
+	// Stage 2: parse (serial across partitions — the device is one
+	// resource — but internally parallel).
+	go func() {
+		var carry []byte
+		for i := range transferred {
+			lo := i * cfg.PartitionSize
+			hi := lo + cfg.PartitionSize
+			if hi > len(input) {
+				hi = len(input)
+			}
+			// Assemble carry-over + partition (the "copy c/o" step).
+			buf := make([]byte, 0, len(carry)+hi-lo)
+			buf = append(buf, carry...)
+			buf = append(buf, input[lo:hi]...)
+
+			final := i == partitions-1
+			<-dataTokens
+			parseStart := time.Now()
+			res, err := parser.ParsePartition(buf, final)
+			stats.ParseBusy += time.Since(parseStart)
+			if err != nil {
+				close(quit)
+				toReturn <- parsed{idx: i, err: fmt.Errorf("stream: partition %d: %w", i, err)}
+				close(toReturn)
+				return
+			}
+			if final {
+				carry = nil
+			} else {
+				if res.CompleteBytes < 0 || res.CompleteBytes > len(buf) {
+					close(quit)
+					toReturn <- parsed{idx: i, err: fmt.Errorf("stream: partition %d: complete bytes %d outside [0,%d]", i, res.CompleteBytes, len(buf))}
+					close(toReturn)
+					return
+				}
+				carry = append([]byte(nil), buf[res.CompleteBytes:]...)
+				if len(carry) > stats.MaxCarryOver {
+					stats.MaxCarryOver = len(carry)
+				}
+			}
+			// Input buffer free once the carry-over is copied out.
+			inputTokens <- struct{}{}
+			outBytes := res.OutputBytes
+			if outBytes <= 0 && res.Table != nil {
+				outBytes = res.Table.DataBytes()
+			}
+			toReturn <- parsed{idx: i, table: res.Table, bytes: outBytes}
+		}
+		close(toReturn)
+	}()
+
+	// Stage 3: return parsed data device→host.
+	go func() {
+		for p := range toReturn {
+			if p.err != nil {
+				done <- p.err
+				return
+			}
+			bus.Transfer(pcie.DeviceToHost, p.bytes)
+			stats.OutputBytes += p.bytes
+			dataTokens <- struct{}{}
+			if p.table != nil {
+				tables = append(tables, p.table)
+			}
+		}
+		done <- nil
+	}()
+
+	if err := <-done; err != nil {
+		return nil, err
+	}
+	stats.Duration = time.Since(start)
+	return &Result{Tables: tables, Stats: stats}, nil
+}

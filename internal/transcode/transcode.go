@@ -1,0 +1,181 @@
+// Package transcode implements massively parallel UTF-16 → UTF-8
+// transcoding, completing the variable-length-symbol story of §4.2:
+// inputs in a variable-length encoding are normalised to UTF-8 on the
+// device before parsing, using the same count → prefix-scan → emit
+// kernel pattern as the parsing pipeline itself. Chunk boundaries are
+// resolved context-free with the §4.2 rule: a chunk beginning with a
+// low surrogate (0xDC00–0xDFFF) skips it — that code unit belongs to
+// the symbol owned by the previous chunk, whose thread reads past its
+// boundary to finish the symbol.
+package transcode
+
+import (
+	"repro/internal/device"
+	"repro/internal/scan"
+	"repro/internal/utfx"
+)
+
+// chunkUnits is the number of UTF-16 code units (2 bytes each) per
+// transcode chunk.
+const chunkUnits = 2048
+
+// replacementChar is emitted for unpaired surrogates and odd trailing
+// bytes, following the Unicode replacement policy.
+const replacementChar = 0xFFFD
+
+// DetectEncoding sniffs a byte-order mark. It returns the detected
+// encoding (ASCII when there is no BOM) and the BOM's byte length,
+// which the caller should skip.
+func DetectEncoding(input []byte) (utfx.Encoding, int) {
+	switch {
+	case len(input) >= 3 && input[0] == 0xEF && input[1] == 0xBB && input[2] == 0xBF:
+		return utfx.UTF8, 3
+	case len(input) >= 2 && input[0] == 0xFF && input[1] == 0xFE:
+		return utfx.UTF16LE, 2
+	case len(input) >= 2 && input[0] == 0xFE && input[1] == 0xFF:
+		return utfx.UTF16BE, 2
+	default:
+		return utfx.ASCII, 0
+	}
+}
+
+// UTF16ToUTF8 transcodes UTF-16 input (without BOM) to UTF-8 on the
+// device. Unpaired surrogates and an odd trailing byte become U+FFFD.
+// The phase name attributes the kernel time (use "transcode").
+func UTF16ToUTF8(d *device.Device, phase string, input []byte, bigEndian bool) []byte {
+	if len(input) == 0 {
+		return nil
+	}
+	units := len(input) / 2
+	oddTail := len(input)%2 != 0
+	chunks := (units + chunkUnits - 1) / chunkUnits
+	if chunks == 0 {
+		chunks = 1
+	}
+	enc := utfx.UTF16LE
+	if bigEndian {
+		enc = utfx.UTF16BE
+	}
+
+	// Each chunk's true start: skip a leading low surrogate (it belongs
+	// to the previous chunk's symbol). Computed context-free per chunk.
+	starts := make([]int, chunks+1)
+	d.Launch(phase, chunks, func(c int) {
+		if c == 0 {
+			// No previous chunk: a leading low surrogate is simply an
+			// unpaired surrogate and must decode to U+FFFD, not be
+			// skipped.
+			starts[0] = 0
+			return
+		}
+		lo := c * chunkUnits * 2
+		starts[c] = lo + utfx.LeadingTrailingBytes(enc, input[lo:])
+	})
+	starts[chunks] = units * 2
+
+	// Pass 1: per-chunk UTF-8 output size.
+	counts := make([]int64, chunks)
+	d.Launch(phase, chunks, func(c int) {
+		counts[c] = int64(transcodeChunk(input, starts[c], starts[c+1], bigEndian, nil))
+	})
+	if oddTail {
+		counts[chunks-1] += 3 // U+FFFD for the dangling byte
+	}
+
+	// Prefix scan gives every chunk's output offset.
+	offsets := make([]int64, chunks)
+	total := scan.Exclusive(d, phase, scan.Sum[int64](), counts, offsets)
+
+	// Pass 2: emit.
+	out := make([]byte, total)
+	d.Launch(phase, chunks, func(c int) {
+		transcodeChunk(input, starts[c], starts[c+1], bigEndian, out[offsets[c]:])
+	})
+	if oddTail {
+		encodeRune(out[total-3:], replacementChar)
+	}
+	return out
+}
+
+// transcodeChunk decodes code units in input[lo:hi) — reading past hi
+// to finish a symbol whose high surrogate lies before hi — and either
+// counts the UTF-8 bytes (dst nil) or writes them to dst. It returns
+// the number of UTF-8 bytes produced.
+func transcodeChunk(input []byte, lo, hi int, bigEndian bool, dst []byte) int {
+	n := 0
+	for pos := lo; pos < hi; {
+		r, size := decodeUnit(input, pos, bigEndian)
+		pos += size
+		if dst != nil {
+			encodeRune(dst[n:], r)
+		}
+		n += runeLen(r)
+	}
+	return n
+}
+
+// decodeUnit decodes one code point starting at byte pos, returning the
+// rune and the bytes consumed (2 or 4). Unpaired surrogates decode to
+// U+FFFD consuming 2 bytes.
+func decodeUnit(input []byte, pos int, bigEndian bool) (rune, int) {
+	u := readUnit(input, pos, bigEndian)
+	switch {
+	case u >= 0xD800 && u <= 0xDBFF: // high surrogate
+		if pos+4 <= len(input) {
+			lo := readUnit(input, pos+2, bigEndian)
+			if lo >= 0xDC00 && lo <= 0xDFFF {
+				return 0x10000 + (rune(u)-0xD800)<<10 + (rune(lo) - 0xDC00), 4
+			}
+		}
+		return replacementChar, 2
+	case u >= 0xDC00 && u <= 0xDFFF: // stray low surrogate
+		return replacementChar, 2
+	default:
+		return rune(u), 2
+	}
+}
+
+func readUnit(input []byte, pos int, bigEndian bool) uint16 {
+	if pos+2 > len(input) {
+		return replacementChar
+	}
+	if bigEndian {
+		return uint16(input[pos])<<8 | uint16(input[pos+1])
+	}
+	return uint16(input[pos+1])<<8 | uint16(input[pos])
+}
+
+// runeLen returns the UTF-8 length of r (valid scalar values only —
+// surrogates were replaced during decoding).
+func runeLen(r rune) int {
+	switch {
+	case r < 0x80:
+		return 1
+	case r < 0x800:
+		return 2
+	case r < 0x10000:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// encodeRune writes r's UTF-8 bytes to dst (which must have room).
+func encodeRune(dst []byte, r rune) {
+	switch {
+	case r < 0x80:
+		dst[0] = byte(r)
+	case r < 0x800:
+		dst[0] = 0xC0 | byte(r>>6)
+		dst[1] = 0x80 | byte(r)&0x3F
+	case r < 0x10000:
+		dst[0] = 0xE0 | byte(r>>12)
+		dst[1] = 0x80 | byte(r>>6)&0x3F
+		dst[2] = 0x80 | byte(r)&0x3F
+	default:
+		dst[0] = 0xF0 | byte(r>>18)
+		dst[1] = 0x80 | byte(r>>12)&0x3F
+		dst[2] = 0x80 | byte(r>>6)&0x3F
+		dst[3] = 0x80 | byte(r)&0x3F
+	}
+}

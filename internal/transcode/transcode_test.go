@@ -1,0 +1,142 @@
+package transcode
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"unicode/utf16"
+	"unicode/utf8"
+
+	"repro/internal/device"
+	"repro/internal/utfx"
+)
+
+func encodeUTF16(s string, bigEndian bool) []byte {
+	units := utf16.Encode([]rune(s))
+	out := make([]byte, 0, len(units)*2)
+	for _, u := range units {
+		if bigEndian {
+			out = append(out, byte(u>>8), byte(u))
+		} else {
+			out = append(out, byte(u), byte(u>>8))
+		}
+	}
+	return out
+}
+
+// reference decodes UTF-16 bytes with the standard library, appending
+// U+FFFD for a dangling odd byte — the semantics UTF16ToUTF8 promises.
+func reference(input []byte, bigEndian bool) []byte {
+	units := make([]uint16, 0, len(input)/2)
+	for i := 0; i+2 <= len(input); i += 2 {
+		if bigEndian {
+			units = append(units, uint16(input[i])<<8|uint16(input[i+1]))
+		} else {
+			units = append(units, uint16(input[i+1])<<8|uint16(input[i]))
+		}
+	}
+	out := []byte(string(utf16.Decode(units)))
+	if len(input)%2 != 0 {
+		out = append(out, []byte(string(rune(0xFFFD)))...)
+	}
+	return out
+}
+
+func TestUTF16RoundTripBothEndians(t *testing.T) {
+	d := device.Default()
+	text := "id,näme,城市\n1,\"Zoë, Münch\",北京\n2,Щука,東京\n3,🚕 taxi,ασπρόπυργος\n"
+	for _, be := range []bool{false, true} {
+		in := encodeUTF16(text, be)
+		got := UTF16ToUTF8(d, "transcode", in, be)
+		if string(got) != text {
+			t.Errorf("bigEndian=%v: got %q", be, got)
+		}
+	}
+}
+
+func TestUTF16ChunkBoundarySurrogates(t *testing.T) {
+	// Surrogate pairs placed to straddle every chunk boundary: a string
+	// of 4-byte emoji fills chunks with an odd unit pattern.
+	d := device.Default()
+	var sb bytes.Buffer
+	for i := 0; i < 3*chunkUnits; i++ {
+		sb.WriteRune('🚀') // surrogate pair: 2 units
+		if i%7 == 0 {
+			sb.WriteByte('x') // shift parity so pairs cross boundaries
+		}
+	}
+	text := sb.String()
+	in := encodeUTF16(text, false)
+	got := UTF16ToUTF8(d, "transcode", in, false)
+	if string(got) != text {
+		t.Fatalf("surrogate pairs corrupted across chunk boundaries (len got %d want %d)", len(got), len(text))
+	}
+}
+
+func TestUTF16UnpairedSurrogates(t *testing.T) {
+	d := device.Default()
+	cases := [][]byte{
+		{0x00, 0xD8},             // lone high surrogate
+		{0x00, 0xDC},             // lone low surrogate
+		{0x00, 0xD8, 0x41, 0x00}, // high surrogate then 'A'
+		{0x41},                   // odd single byte
+		{0x41, 0x00, 0x42},       // 'A' then odd byte
+	}
+	for _, in := range cases {
+		got := UTF16ToUTF8(d, "transcode", in, false)
+		want := reference(in, false)
+		if !bytes.Equal(got, want) {
+			t.Errorf("input % X: got %q want %q", in, got, want)
+		}
+		if !utf8.Valid(got) {
+			t.Errorf("input % X produced invalid UTF-8", in)
+		}
+	}
+}
+
+func TestUTF16Empty(t *testing.T) {
+	if got := UTF16ToUTF8(device.Default(), "t", nil, false); len(got) != 0 {
+		t.Errorf("empty input produced %q", got)
+	}
+}
+
+func TestUTF16MatchesReferenceProperty(t *testing.T) {
+	d := device.Default()
+	f := func(seed int64, n uint16, be bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Random bytes: mostly garbage UTF-16 with embedded valid text.
+		in := make([]byte, int(n%8192))
+		rng.Read(in)
+		got := UTF16ToUTF8(d, "transcode", in, be)
+		want := reference(in, be)
+		return bytes.Equal(got, want) && utf8.Valid(got)
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if testing.Short() {
+		cfg.MaxCount = 15
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetectEncoding(t *testing.T) {
+	cases := []struct {
+		in   []byte
+		enc  utfx.Encoding
+		skip int
+	}{
+		{[]byte{0xEF, 0xBB, 0xBF, 'a'}, utfx.UTF8, 3},
+		{[]byte{0xFF, 0xFE, 'a', 0}, utfx.UTF16LE, 2},
+		{[]byte{0xFE, 0xFF, 0, 'a'}, utfx.UTF16BE, 2},
+		{[]byte("plain"), utfx.ASCII, 0},
+		{nil, utfx.ASCII, 0},
+	}
+	for _, c := range cases {
+		enc, skip := DetectEncoding(c.in)
+		if enc != c.enc || skip != c.skip {
+			t.Errorf("DetectEncoding(% X) = %v,%d want %v,%d", c.in, enc, skip, c.enc, c.skip)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+// Package utfx implements the variable-length-symbol handling of §4.2:
+// when chunk boundaries fall inside a multi-byte UTF-8 or UTF-16 code
+// point, the thread owning the symbol's *leading* bytes reads the whole
+// symbol, and threads whose chunks begin with trailing bytes skip them.
+// Both encodings allow identifying trailing bytes locally, without any
+// context: UTF-8 continuation bytes carry the prefix 0b10xxxxxx, and
+// UTF-16 low surrogates occupy the reserved range 0xDC00–0xDFFF.
+package utfx
+
+// Encoding identifies the input's symbol encoding.
+type Encoding int
+
+const (
+	// ASCII (or any 8-bit encoding): symbols never cross chunks.
+	ASCII Encoding = iota
+	// UTF8 has 1–4 byte symbols with 0b10xxxxxx continuation bytes.
+	UTF8
+	// UTF16LE has 2- or 4-byte symbols, little-endian code units.
+	UTF16LE
+	// UTF16BE has 2- or 4-byte symbols, big-endian code units.
+	UTF16BE
+)
+
+func (e Encoding) String() string {
+	switch e {
+	case ASCII:
+		return "ascii"
+	case UTF8:
+		return "utf-8"
+	case UTF16LE:
+		return "utf-16le"
+	case UTF16BE:
+		return "utf-16be"
+	default:
+		return "unknown"
+	}
+}
+
+// LeadingTrailingBytes returns how many bytes at the start of chunk are
+// trailing bytes of a symbol that began in the previous chunk. The
+// owning thread must skip exactly these bytes; the preceding thread reads
+// beyond its chunk boundary to complete the symbol (§4.2).
+func LeadingTrailingBytes(enc Encoding, chunk []byte) int {
+	switch enc {
+	case UTF8:
+		return utf8Trailing(chunk)
+	case UTF16LE:
+		return utf16Trailing(chunk, false)
+	case UTF16BE:
+		return utf16Trailing(chunk, true)
+	default:
+		return 0
+	}
+}
+
+// utf8Trailing counts leading continuation bytes (prefix 0b10), at most
+// three — a valid UTF-8 symbol has at most 3 continuation bytes.
+func utf8Trailing(chunk []byte) int {
+	n := 0
+	for n < len(chunk) && n < 3 && chunk[n]&0xC0 == 0x80 {
+		n++
+	}
+	return n
+}
+
+// utf16Trailing reports 2 when the chunk's first code unit is a low
+// surrogate (0xDC00–0xDFFF): Unicode assigns no characters in that range,
+// so a leading low surrogate always completes a 4-byte symbol that began
+// in the previous chunk (§4.2).
+func utf16Trailing(chunk []byte, bigEndian bool) int {
+	if len(chunk) < 2 {
+		return 0
+	}
+	var unit uint16
+	if bigEndian {
+		unit = uint16(chunk[0])<<8 | uint16(chunk[1])
+	} else {
+		unit = uint16(chunk[1])<<8 | uint16(chunk[0])
+	}
+	if unit >= 0xDC00 && unit <= 0xDFFF {
+		return 2
+	}
+	return 0
+}
+
+// SymbolLength returns the byte length of the symbol whose first byte(s)
+// start at chunk[0], so the owning thread can read past its chunk
+// boundary to finish the symbol. Returns 1 for invalid leading bytes
+// (the DFA will route them to its invalid state).
+func SymbolLength(enc Encoding, b []byte) int {
+	if len(b) == 0 {
+		return 0
+	}
+	switch enc {
+	case UTF8:
+		switch {
+		case b[0]&0x80 == 0x00:
+			return 1
+		case b[0]&0xE0 == 0xC0:
+			return 2
+		case b[0]&0xF0 == 0xE0:
+			return 3
+		case b[0]&0xF8 == 0xF0:
+			return 4
+		default:
+			return 1 // stray continuation byte
+		}
+	case UTF16LE, UTF16BE:
+		if len(b) < 2 {
+			return len(b)
+		}
+		var unit uint16
+		if enc == UTF16BE {
+			unit = uint16(b[0])<<8 | uint16(b[1])
+		} else {
+			unit = uint16(b[1])<<8 | uint16(b[0])
+		}
+		if unit >= 0xD800 && unit <= 0xDBFF { // high surrogate: 4-byte symbol
+			return 4
+		}
+		return 2
+	default:
+		return 1
+	}
+}
+
+// AlignChunk returns the sub-slice of chunk the owning thread must
+// actually process: trailing bytes of the previous chunk's symbol are
+// skipped at the front, and the number of bytes the thread must read
+// beyond the chunk to finish its last symbol is returned as overhang.
+func AlignChunk(enc Encoding, input []byte, lo, hi int) (start int, overhang int) {
+	start = lo + LeadingTrailingBytes(enc, input[lo:hi])
+	pos := start
+	for pos < hi {
+		l := SymbolLength(enc, input[pos:])
+		if l == 0 {
+			break
+		}
+		pos += l
+	}
+	overhang = pos - hi
+	return start, overhang
+}

@@ -1,0 +1,130 @@
+package utfx
+
+import (
+	"testing"
+	"unicode/utf16"
+	"unicode/utf8"
+)
+
+func TestUTF8LeadingTrailingBytes(t *testing.T) {
+	// é = C3 A9, 한 = ED 95 9C, 𝄞 = F0 9D 84 9E.
+	cases := []struct {
+		chunk []byte
+		want  int
+	}{
+		{[]byte("abc"), 0},
+		{[]byte{0xA9, 'a'}, 1},             // tail of é
+		{[]byte{0x95, 0x9C, 'a'}, 2},       // tail of 한
+		{[]byte{0x9D, 0x84, 0x9E, 'a'}, 3}, // tail of 𝄞
+		{[]byte{}, 0},
+		{[]byte{0xC3, 0xA9}, 0}, // leading byte owns the symbol
+	}
+	for _, c := range cases {
+		if got := LeadingTrailingBytes(UTF8, c.chunk); got != c.want {
+			t.Errorf("LeadingTrailingBytes(UTF8, % X) = %d, want %d", c.chunk, got, c.want)
+		}
+	}
+}
+
+func TestUTF8TrailingCappedAtThree(t *testing.T) {
+	chunk := []byte{0x80, 0x80, 0x80, 0x80, 0x80}
+	if got := LeadingTrailingBytes(UTF8, chunk); got != 3 {
+		t.Errorf("trailing run capped at %d, want 3", got)
+	}
+}
+
+func TestUTF16LowSurrogateDetection(t *testing.T) {
+	// 𝄞 U+1D11E → surrogates D834 DD1E.
+	le := []byte{0x1E, 0xDD, 'a', 0x00}
+	if got := LeadingTrailingBytes(UTF16LE, le); got != 2 {
+		t.Errorf("UTF16LE low surrogate: %d, want 2", got)
+	}
+	be := []byte{0xDD, 0x1E, 0x00, 'a'}
+	if got := LeadingTrailingBytes(UTF16BE, be); got != 2 {
+		t.Errorf("UTF16BE low surrogate: %d, want 2", got)
+	}
+	// BMP code unit: no skip.
+	bmp := []byte{0x41, 0x00}
+	if got := LeadingTrailingBytes(UTF16LE, bmp); got != 0 {
+		t.Errorf("BMP unit skipped: %d", got)
+	}
+	// Short chunk.
+	if got := LeadingTrailingBytes(UTF16LE, []byte{0x1E}); got != 0 {
+		t.Errorf("1-byte chunk: %d", got)
+	}
+}
+
+func TestASCIINeverSkips(t *testing.T) {
+	if LeadingTrailingBytes(ASCII, []byte{0x80, 0x80}) != 0 {
+		t.Error("ASCII must never skip")
+	}
+}
+
+func TestSymbolLengthUTF8(t *testing.T) {
+	for _, r := range []rune{'a', 'é', '한', '𝄞'} {
+		buf := make([]byte, 4)
+		n := utf8.EncodeRune(buf, r)
+		if got := SymbolLength(UTF8, buf[:n]); got != n {
+			t.Errorf("SymbolLength(%q) = %d, want %d", r, got, n)
+		}
+	}
+	if SymbolLength(UTF8, []byte{0x80}) != 1 {
+		t.Error("stray continuation byte must advance by 1")
+	}
+	if SymbolLength(UTF8, nil) != 0 {
+		t.Error("empty input must be 0")
+	}
+}
+
+func TestSymbolLengthUTF16(t *testing.T) {
+	hi, lo := utf16.EncodeRune('𝄞')
+	le := []byte{byte(hi), byte(hi >> 8), byte(lo), byte(lo >> 8)}
+	if got := SymbolLength(UTF16LE, le); got != 4 {
+		t.Errorf("surrogate pair length = %d, want 4", got)
+	}
+	bmp := []byte{0x41, 0x00}
+	if got := SymbolLength(UTF16LE, bmp); got != 2 {
+		t.Errorf("BMP length = %d, want 2", got)
+	}
+	be := []byte{byte(hi >> 8), byte(hi), byte(lo >> 8), byte(lo)}
+	if got := SymbolLength(UTF16BE, be); got != 4 {
+		t.Errorf("BE surrogate pair length = %d, want 4", got)
+	}
+	if got := SymbolLength(UTF16LE, []byte{0x41}); got != 1 {
+		t.Errorf("truncated unit length = %d", got)
+	}
+}
+
+// TestAlignChunkCoversInputExactly splits UTF-8 text at arbitrary byte
+// boundaries and verifies the §4.2 ownership rule: every byte is
+// processed exactly once, by the thread owning the symbol's leading byte.
+func TestAlignChunkCoversInputExactly(t *testing.T) {
+	text := []byte("naïve — 𝄞 한국어 mixed ascii £€ text")
+	for chunkSize := 1; chunkSize <= 9; chunkSize++ {
+		covered := make([]int, len(text))
+		for lo := 0; lo < len(text); lo += chunkSize {
+			hi := lo + chunkSize
+			if hi > len(text) {
+				hi = len(text)
+			}
+			start, overhang := AlignChunk(UTF8, text, lo, hi)
+			for i := start; i < hi+overhang; i++ {
+				covered[i]++
+			}
+		}
+		for i, c := range covered {
+			if c != 1 {
+				t.Fatalf("chunkSize=%d byte %d covered %d times", chunkSize, i, c)
+			}
+		}
+	}
+}
+
+func TestEncodingString(t *testing.T) {
+	names := map[Encoding]string{ASCII: "ascii", UTF8: "utf-8", UTF16LE: "utf-16le", UTF16BE: "utf-16be"}
+	for e, want := range names {
+		if e.String() != want {
+			t.Errorf("%d.String() = %q", e, e.String())
+		}
+	}
+}

@@ -1,0 +1,270 @@
+// Package workload generates the synthetic datasets of the experimental
+// evaluation (§5). The paper uses two dissimilar real-world datasets:
+//
+//   - yelp reviews: 4.8 GB, 9 columns, ~721.4 B/record, all fields
+//     enclosed in double quotes, text-heavy — the review text embeds
+//     field and record delimiters and escaped quotes, "which poses a
+//     challenge for many parallel parsers";
+//   - NYC taxi trips: 9.1 GB, 17 columns, ~88.3 B/record, ~5.2 B/field,
+//     numerical and temporal types, "putting the emphasis on data type
+//     conversion".
+//
+// The real datasets are not redistributable here, so this package builds
+// synthetic equivalents with the same structural statistics (column
+// counts, field widths, quoting discipline, type mix) — the properties
+// the algorithm's behaviour depends on. Generation is deterministic in
+// the seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/columnar"
+)
+
+// Spec describes one synthetic dataset family.
+type Spec struct {
+	// Name identifies the workload in experiment output.
+	Name string
+	// Schema is the dataset's natural schema.
+	Schema *columnar.Schema
+	// AvgRecord is the approximate record size in bytes.
+	AvgRecord int
+	// record appends one CSV record (including the record delimiter).
+	record func(rng *rand.Rand, dst []byte) []byte
+	// generateOverride, when non-nil, replaces record-by-record
+	// generation entirely (used by Skewed, whose single giant record
+	// must be placed at a specific position in the output).
+	generateOverride func(size int, seed int64) []byte
+}
+
+// Generate produces approximately size bytes of CSV, always ending at a
+// record boundary.
+func (s Spec) Generate(size int, seed int64) []byte {
+	if s.generateOverride != nil {
+		return s.generateOverride(size, seed)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	dst := make([]byte, 0, size+s.AvgRecord*2)
+	for len(dst) < size {
+		dst = s.record(rng, dst)
+	}
+	return dst
+}
+
+// GenerateRecords produces exactly n records.
+func (s Spec) GenerateRecords(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	var dst []byte
+	for i := 0; i < n; i++ {
+		dst = s.record(rng, dst)
+	}
+	return dst
+}
+
+// reviewWords is the vocabulary for synthetic review text. Several
+// entries contain commas — inside a quoted field they are data, which is
+// exactly the context-sensitivity that defeats context-free splitting.
+var reviewWords = []string{
+	"great", "terrible", "food", "service", "would", "not", "recommend",
+	"the", "portions, however,", "ambiance", "overpriced", "friendly",
+	"staff", "waited", "forever", "delicious", "bland", "cozy", "loud",
+	"again", "never", "absolutely", "a hidden gem,", "disappointing",
+}
+
+const idAlphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-_"
+
+func appendID(rng *rand.Rand, dst []byte, n int) []byte {
+	for i := 0; i < n; i++ {
+		dst = append(dst, idAlphabet[rng.Intn(len(idAlphabet))])
+	}
+	return dst
+}
+
+func appendInt(dst []byte, v int64) []byte {
+	return fmt.Appendf(dst, "%d", v)
+}
+
+func appendTimestamp(rng *rand.Rand, dst []byte) []byte {
+	return fmt.Appendf(dst, "%04d-%02d-%02d %02d:%02d:%02d",
+		2015+rng.Intn(4), 1+rng.Intn(12), 1+rng.Intn(28),
+		rng.Intn(24), rng.Intn(60), rng.Intn(60))
+}
+
+// Yelp returns the yelp-reviews-like workload: 9 quoted columns
+// (review_id, user_id, business_id, stars, useful, funny, cool, text,
+// date) averaging ~720 bytes per record, dominated by the review text.
+func Yelp() Spec {
+	schema := columnar.NewSchema(
+		columnar.Field{Name: "review_id", Type: columnar.String},
+		columnar.Field{Name: "user_id", Type: columnar.String},
+		columnar.Field{Name: "business_id", Type: columnar.String},
+		columnar.Field{Name: "stars", Type: columnar.Int64},
+		columnar.Field{Name: "useful", Type: columnar.Int64},
+		columnar.Field{Name: "funny", Type: columnar.Int64},
+		columnar.Field{Name: "cool", Type: columnar.Int64},
+		columnar.Field{Name: "text", Type: columnar.String},
+		columnar.Field{Name: "date", Type: columnar.TimestampMicros},
+	)
+	return Spec{
+		Name:      "yelp",
+		Schema:    schema,
+		AvgRecord: 721,
+		record: func(rng *rand.Rand, dst []byte) []byte {
+			q := func(f func()) {
+				dst = append(dst, '"')
+				f()
+				dst = append(dst, '"', ',')
+			}
+			q(func() { dst = appendID(rng, dst, 22) })
+			q(func() { dst = appendID(rng, dst, 22) })
+			q(func() { dst = appendID(rng, dst, 22) })
+			q(func() { dst = appendInt(dst, int64(1+rng.Intn(5))) })
+			q(func() { dst = appendInt(dst, int64(rng.Intn(50))) })
+			q(func() { dst = appendInt(dst, int64(rng.Intn(20))) })
+			q(func() { dst = appendInt(dst, int64(rng.Intn(20))) })
+			// Review text: ~560 bytes with embedded delimiters, line
+			// breaks, and escaped quotes.
+			q(func() {
+				target := 480 + rng.Intn(160)
+				for n := 0; n < target; {
+					w := reviewWords[rng.Intn(len(reviewWords))]
+					switch rng.Intn(24) {
+					case 0:
+						dst = append(dst, "\"\""...) // escaped quote
+						n += 2
+					case 1:
+						dst = append(dst, '\n') // quoted record delimiter
+						n++
+					default:
+						dst = append(dst, w...)
+						dst = append(dst, ' ')
+						n += len(w) + 1
+					}
+				}
+			})
+			dst = append(dst, '"')
+			dst = appendTimestamp(rng, dst)
+			dst = append(dst, '"', '\n')
+			return dst
+		},
+	}
+}
+
+// Taxi returns the NYC-taxi-trips-like workload: 17 unquoted columns of
+// numerical and temporal types averaging ~88 bytes per record.
+func Taxi() Spec {
+	schema := columnar.NewSchema(
+		columnar.Field{Name: "vendor_id", Type: columnar.Int64},
+		columnar.Field{Name: "pickup_datetime", Type: columnar.TimestampMicros},
+		columnar.Field{Name: "dropoff_datetime", Type: columnar.TimestampMicros},
+		columnar.Field{Name: "passenger_count", Type: columnar.Int64},
+		columnar.Field{Name: "trip_distance", Type: columnar.Float64},
+		columnar.Field{Name: "rate_code_id", Type: columnar.Int64},
+		columnar.Field{Name: "store_and_fwd_flag", Type: columnar.String},
+		columnar.Field{Name: "pu_location_id", Type: columnar.Int64},
+		columnar.Field{Name: "do_location_id", Type: columnar.Int64},
+		columnar.Field{Name: "payment_type", Type: columnar.Int64},
+		columnar.Field{Name: "fare_amount", Type: columnar.Float64},
+		columnar.Field{Name: "extra", Type: columnar.Float64},
+		columnar.Field{Name: "mta_tax", Type: columnar.Float64},
+		columnar.Field{Name: "tip_amount", Type: columnar.Float64},
+		columnar.Field{Name: "tolls_amount", Type: columnar.Float64},
+		columnar.Field{Name: "improvement_surcharge", Type: columnar.Float64},
+		columnar.Field{Name: "total_amount", Type: columnar.Float64},
+	)
+	return Spec{
+		Name:      "taxi",
+		Schema:    schema,
+		AvgRecord: 88,
+		record: func(rng *rand.Rand, dst []byte) []byte {
+			money := func() {
+				dst = fmt.Appendf(dst, "%d.%02d", rng.Intn(60), rng.Intn(100))
+				dst = append(dst, ',')
+			}
+			dst = appendInt(dst, int64(1+rng.Intn(2)))
+			dst = append(dst, ',')
+			dst = appendTimestamp(rng, dst)
+			dst = append(dst, ',')
+			dst = appendTimestamp(rng, dst)
+			dst = append(dst, ',')
+			dst = appendInt(dst, int64(1+rng.Intn(6)))
+			dst = append(dst, ',')
+			dst = fmt.Appendf(dst, "%d.%d,", rng.Intn(20), rng.Intn(100))
+			dst = appendInt(dst, int64(1+rng.Intn(6)))
+			dst = append(dst, ',')
+			flag := byte('N')
+			if rng.Intn(50) == 0 {
+				flag = 'Y'
+			}
+			dst = append(dst, flag, ',')
+			dst = appendInt(dst, int64(1+rng.Intn(265)))
+			dst = append(dst, ',')
+			dst = appendInt(dst, int64(1+rng.Intn(265)))
+			dst = append(dst, ',')
+			dst = appendInt(dst, int64(1+rng.Intn(4)))
+			dst = append(dst, ',')
+			money()
+			money()
+			money()
+			money()
+			money()
+			money()
+			dst = fmt.Appendf(dst, "%d.%02d", rng.Intn(80), rng.Intn(100))
+			dst = append(dst, '\n')
+			return dst
+		},
+	}
+}
+
+// Skewed wraps a spec so that one record near the middle of the output
+// carries a single giant text field of giantBytes (the Figure 11 right
+// experiment: "the skewed inputs contain a single record that is 200 MB
+// in size, while the remaining records remain the same").
+func Skewed(base Spec, giantBytes int) Spec {
+	s := base
+	s.Name = base.Name + "-skewed"
+	generate := func(size int, seed int64) []byte {
+		half := (size - giantBytes) / 2
+		if half < 0 {
+			half = 0
+		}
+		out := base.Generate(half, seed)
+		out = append(out, giantRecord(base, giantBytes, seed+1)...)
+		out = append(out, base.Generate(half, seed+2)...)
+		return out
+	}
+	s.record = nil // Skewed specs generate whole inputs, not records.
+	s.generateOverride = generate
+	return s
+}
+
+// giantRecord builds one record of the spec's column count whose last
+// string-typed column holds a giantBytes quoted payload.
+func giantRecord(base Spec, giantBytes int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	cols := base.Schema.NumColumns()
+	textCol := cols - 1
+	for i, f := range base.Schema.Fields {
+		if f.Type == columnar.String {
+			textCol = i
+		}
+	}
+	var dst []byte
+	for c := 0; c < cols; c++ {
+		if c > 0 {
+			dst = append(dst, ',')
+		}
+		if c == textCol {
+			dst = append(dst, '"')
+			for n := 0; n < giantBytes; n += 8 {
+				dst = append(dst, "lorem,! "...)
+			}
+			dst = append(dst, '"')
+		} else {
+			dst = appendInt(dst, int64(rng.Intn(100)))
+		}
+	}
+	return append(dst, '\n')
+}

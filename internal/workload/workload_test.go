@@ -1,0 +1,183 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/columnar"
+)
+
+func TestYelpStructuralStatistics(t *testing.T) {
+	spec := Yelp()
+	input := spec.Generate(1<<20, 1)
+	if len(input) < 1<<20 {
+		t.Fatalf("generated %d bytes, want >= 1 MB", len(input))
+	}
+	if input[len(input)-1] != '\n' {
+		t.Error("output must end at a record boundary")
+	}
+	// Average record size ~721 B (paper: 721.4); allow a wide band.
+	records := countRecords(input)
+	avg := len(input) / records
+	if avg < 500 || avg > 950 {
+		t.Errorf("avg record size = %d, want ~721", avg)
+	}
+	if spec.Schema.NumColumns() != 9 {
+		t.Errorf("columns = %d, want 9", spec.Schema.NumColumns())
+	}
+	// The text fields must embed the characters that defeat context-free
+	// parsing: quoted commas, quoted newlines, escaped quotes.
+	if !bytes.Contains(input, []byte(`""`)) {
+		t.Error("no escaped quotes in yelp-like text")
+	}
+	if countRecords(input) == bytes.Count(input, []byte{'\n'}) {
+		t.Error("no quoted record delimiters in yelp-like text")
+	}
+}
+
+func TestTaxiStructuralStatistics(t *testing.T) {
+	spec := Taxi()
+	input := spec.Generate(1<<20, 1)
+	records := bytes.Count(input, []byte{'\n'}) // unquoted: every \n delimits
+	avg := len(input) / records
+	// Paper: 88.3 B/record, 17 columns, ~5.2 B/field.
+	if avg < 70 || avg > 110 {
+		t.Errorf("avg record size = %d, want ~88", avg)
+	}
+	if spec.Schema.NumColumns() != 17 {
+		t.Errorf("columns = %d, want 17", spec.Schema.NumColumns())
+	}
+	if bytes.ContainsRune(input, '"') {
+		t.Error("taxi-like input must be unquoted")
+	}
+	line := input[:bytes.IndexByte(input, '\n')]
+	if got := bytes.Count(line, []byte{','}); got != 16 {
+		t.Errorf("first record has %d commas, want 16", got)
+	}
+}
+
+// countRecords counts true record boundaries: newlines at even quote
+// parity.
+func countRecords(input []byte) int {
+	n, inQuote := 0, false
+	for _, b := range input {
+		switch b {
+		case '"':
+			inQuote = !inQuote
+		case '\n':
+			if !inQuote {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, spec := range []Spec{Yelp(), Taxi()} {
+		a := spec.Generate(1<<16, 7)
+		b := spec.Generate(1<<16, 7)
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: same seed produced different data", spec.Name)
+		}
+		c := spec.Generate(1<<16, 8)
+		if bytes.Equal(a, c) {
+			t.Errorf("%s: different seeds produced identical data", spec.Name)
+		}
+	}
+}
+
+func TestGenerateRecordsExactCount(t *testing.T) {
+	spec := Taxi()
+	data := spec.GenerateRecords(137, 3)
+	if got := bytes.Count(data, []byte{'\n'}); got != 137 {
+		t.Errorf("records = %d, want 137", got)
+	}
+}
+
+func TestSkewedContainsGiantRecord(t *testing.T) {
+	const giant = 1 << 18
+	spec := Skewed(Taxi(), giant)
+	input := spec.Generate(1<<20, 5)
+	// One line must be >= giant bytes.
+	maxLine, cur := 0, 0
+	for _, b := range input {
+		if b == '\n' {
+			if cur > maxLine {
+				maxLine = cur
+			}
+			cur = 0
+		} else {
+			cur++
+		}
+	}
+	if maxLine < giant {
+		t.Errorf("longest record = %d, want >= %d", maxLine, giant)
+	}
+	if spec.Name != "taxi-skewed" {
+		t.Errorf("name = %q", spec.Name)
+	}
+}
+
+func TestSkewedGiantRecordColumnCount(t *testing.T) {
+	// The giant record must have the same column count as the base spec,
+	// or column-count validation would reject it.
+	rec := giantRecord(Taxi(), 1<<12, 1)
+	cols := 1
+	inQuote := false
+	for _, b := range rec {
+		switch b {
+		case '"':
+			inQuote = !inQuote
+		case ',':
+			if !inQuote {
+				cols++
+			}
+		}
+	}
+	if cols != Taxi().Schema.NumColumns() {
+		t.Errorf("giant record columns = %d, want %d", cols, Taxi().Schema.NumColumns())
+	}
+}
+
+func TestGenerateSizeProperty(t *testing.T) {
+	// Property: output is at least the requested size, ends with the
+	// record delimiter, and overshoots by at most a few records.
+	f := func(seed int64, kb uint8) bool {
+		size := (int(kb%32) + 1) << 10
+		for _, spec := range []Spec{Yelp(), Taxi()} {
+			out := spec.Generate(size, seed)
+			if len(out) < size || out[len(out)-1] != '\n' {
+				return false
+			}
+			if len(out) > size+4*spec.AvgRecord+4096 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchemasHaveNamedTypedFields(t *testing.T) {
+	for _, spec := range []Spec{Yelp(), Taxi()} {
+		for i, f := range spec.Schema.Fields {
+			if f.Name == "" {
+				t.Errorf("%s field %d unnamed", spec.Name, i)
+			}
+		}
+	}
+	// Taxi's emphasis is type conversion: mostly numeric/temporal.
+	numeric := 0
+	for _, f := range Taxi().Schema.Fields {
+		if f.Type != columnar.String {
+			numeric++
+		}
+	}
+	if numeric < 14 {
+		t.Errorf("taxi numeric/temporal columns = %d, want >= 14", numeric)
+	}
+}

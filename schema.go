@@ -1,0 +1,110 @@
+package parparaw
+
+import (
+	"repro/internal/columnar"
+)
+
+// Type enumerates the column types ParPaRaw can materialise.
+type Type uint8
+
+const (
+	// String is a variable-width UTF-8 column.
+	String Type = iota
+	// Int64 is a 64-bit signed integer column.
+	Int64
+	// Float64 is a 64-bit IEEE 754 column.
+	Float64
+	// Bool is a boolean column.
+	Bool
+	// Date32 stores days since the Unix epoch (Arrow date32).
+	Date32
+	// TimestampMicros stores microseconds since the Unix epoch (Arrow
+	// timestamp[us]).
+	TimestampMicros
+)
+
+// String returns the Arrow-style type name.
+func (t Type) String() string { return t.internal().String() }
+
+func (t Type) internal() columnar.Type {
+	switch t {
+	case String:
+		return columnar.String
+	case Int64:
+		return columnar.Int64
+	case Float64:
+		return columnar.Float64
+	case Bool:
+		return columnar.Bool
+	case Date32:
+		return columnar.Date32
+	case TimestampMicros:
+		return columnar.TimestampMicros
+	default:
+		return columnar.String
+	}
+}
+
+func typeFromInternal(t columnar.Type) Type {
+	switch t {
+	case columnar.String:
+		return String
+	case columnar.Int64:
+		return Int64
+	case columnar.Float64:
+		return Float64
+	case columnar.Bool:
+		return Bool
+	case columnar.Date32:
+		return Date32
+	case columnar.TimestampMicros:
+		return TimestampMicros
+	default:
+		return String
+	}
+}
+
+// Field describes one column of a schema: a name and a type.
+type Field struct {
+	Name string
+	Type Type
+}
+
+// Schema is an ordered list of fields. A nil *Schema in Options asks the
+// parser to infer column types from the data (§4.3 "Type inference") and
+// name columns col0..colN (or take names from the header record when
+// Options.HasHeader is set).
+type Schema struct {
+	Fields []Field
+}
+
+// NewSchema builds a schema from fields.
+func NewSchema(fields ...Field) *Schema { return &Schema{Fields: fields} }
+
+// NumColumns returns the number of fields.
+func (s *Schema) NumColumns() int { return len(s.Fields) }
+
+// String renders the schema as "name:type, ...".
+func (s *Schema) String() string { return s.internal().String() }
+
+func (s *Schema) internal() *columnar.Schema {
+	if s == nil {
+		return nil
+	}
+	fields := make([]columnar.Field, len(s.Fields))
+	for i, f := range s.Fields {
+		fields[i] = columnar.Field{Name: f.Name, Type: f.Type.internal()}
+	}
+	return columnar.NewSchema(fields...)
+}
+
+func schemaFromInternal(s *columnar.Schema) *Schema {
+	if s == nil {
+		return nil
+	}
+	fields := make([]Field, len(s.Fields))
+	for i, f := range s.Fields {
+		fields[i] = Field{Name: f.Name, Type: typeFromInternal(f.Type)}
+	}
+	return NewSchema(fields...)
+}

@@ -1,0 +1,189 @@
+package parparaw
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/columnar"
+	"repro/internal/core"
+	"repro/internal/pcie"
+	"repro/internal/stream"
+)
+
+// DefaultPartitionSize is the streaming partition size used when
+// StreamOptions.PartitionSize is zero. The paper's Figure 12 finds the
+// end-to-end sweet spot at 128-256 MB for multi-gigabyte inputs; 32 MB
+// is a balanced default for laptop-scale runs.
+const DefaultPartitionSize = 32 << 20
+
+// Bus is a simulated full-duplex interconnect (§4.4). Host-to-device and
+// device-to-host transfers overlap at full bandwidth; same-direction
+// transfers serialise. The default models a PCIe 3.0 x16 link.
+type Bus struct {
+	b *pcie.Bus
+}
+
+// BusConfig describes a simulated interconnect.
+type BusConfig struct {
+	// BandwidthHtoD and BandwidthDtoH are bytes per second per
+	// direction. Zero selects ~12 GB/s (PCIe 3.0 x16 effective).
+	BandwidthHtoD, BandwidthDtoH float64
+	// Latency is the per-transfer setup cost. Zero selects 20 µs;
+	// negative disables.
+	Latency time.Duration
+	// TimeScale divides all simulated delays so experiments can replay
+	// the paper's multi-gigabyte schedules in reasonable wall-clock
+	// time. Zero means 1 (real modelled time).
+	TimeScale float64
+}
+
+// NewBus returns a simulated bus.
+func NewBus(cfg BusConfig) *Bus {
+	return &Bus{b: pcie.New(pcie.Config{
+		BandwidthHtoD: cfg.BandwidthHtoD,
+		BandwidthDtoH: cfg.BandwidthDtoH,
+		Latency:       cfg.Latency,
+		TimeScale:     cfg.TimeScale,
+	})}
+}
+
+// StreamOptions configure a streaming parse.
+type StreamOptions struct {
+	// Options are the per-partition parse options. A nil Schema is
+	// inferred from the first partition and then fixed for the rest, so
+	// all partitions produce compatible tables.
+	Options
+	// PartitionSize is the bytes of raw input per partition (Figure
+	// 12's x-axis). 0 uses DefaultPartitionSize.
+	PartitionSize int
+	// Bus is the simulated interconnect; nil uses a PCIe 3.0 x16 model.
+	Bus *Bus
+}
+
+// StreamStats describes a streaming run.
+type StreamStats struct {
+	// Duration is the end-to-end wall-clock time, including simulated
+	// transfers.
+	Duration time.Duration
+	// Partitions is the number of partitions processed.
+	Partitions int
+	// InputBytes and OutputBytes are the volumes moved over the bus.
+	InputBytes, OutputBytes int64
+	// ParseBusy is the cumulative device parse time.
+	ParseBusy time.Duration
+	// MaxCarryOver is the largest record fragment carried between
+	// partitions (bytes).
+	MaxCarryOver int
+}
+
+// StreamResult is a completed streaming parse.
+type StreamResult struct {
+	// Tables holds one table per partition, in input order.
+	Tables []*Table
+	// Header holds the column names from the first partition when
+	// Options.HasHeader was set.
+	Header []string
+	// Stats describes the run.
+	Stats StreamStats
+}
+
+// Combined concatenates the per-partition tables into one.
+func (r *StreamResult) Combined() (*Table, error) {
+	ts := make([]*columnar.Table, len(r.Tables))
+	for i, t := range r.Tables {
+		ts[i] = t.t
+	}
+	tbl, err := columnar.Concat(ts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{t: tbl}, nil
+}
+
+// NumRows returns the total records across all partitions.
+func (r *StreamResult) NumRows() int {
+	n := 0
+	for _, t := range r.Tables {
+		n += t.NumRows()
+	}
+	return n
+}
+
+// Stream parses the input end-to-end through the streaming pipeline of
+// §4.4: the input is split into partitions; each is transferred to the
+// (simulated) device, parsed, and its columnar data returned — with the
+// three stages of consecutive partitions overlapped to exploit the
+// bus's full-duplex capability. Records straddling partition boundaries
+// are carried over intact.
+func Stream(input []byte, opts StreamOptions) (*StreamResult, error) {
+	if opts.PartitionSize == 0 {
+		opts.PartitionSize = DefaultPartitionSize
+	}
+	bus := opts.Bus
+	if bus == nil {
+		bus = NewBus(BusConfig{})
+	}
+
+	out := &StreamResult{}
+	first := true
+	fixedSchema := opts.Schema.internal()
+	parser := stream.ParserFunc(func(part []byte, final bool) (stream.PartitionResult, error) {
+		trailing := core.TrailingRemainder
+		if final {
+			trailing = core.TrailingRecord
+		}
+		copts := opts.Options.internal(trailing)
+		copts.Schema = fixedSchema
+		copts.HasHeader = opts.HasHeader && first
+		copts.SkipRows = 0
+		if first {
+			copts.SkipRows = opts.SkipRows
+		}
+		res, err := core.Parse(part, copts)
+		if err != nil {
+			return stream.PartitionResult{}, err
+		}
+		if first {
+			out.Header = res.Header
+			if fixedSchema == nil {
+				// Freeze the inferred schema so later partitions agree.
+				fixedSchema = res.Table.Schema()
+			}
+			first = false
+		}
+		return stream.PartitionResult{
+			Table:         res.Table,
+			CompleteBytes: len(part) - res.Remainder,
+		}, nil
+	})
+
+	res, err := stream.Run(stream.Config{PartitionSize: opts.PartitionSize, Bus: bus.b}, parser, input)
+	if err != nil {
+		return nil, err
+	}
+	out.Tables = make([]*Table, len(res.Tables))
+	for i, t := range res.Tables {
+		out.Tables[i] = &Table{t: t}
+	}
+	out.Stats = StreamStats{
+		Duration:     res.Stats.Duration,
+		Partitions:   res.Stats.Partitions,
+		InputBytes:   res.Stats.InputBytes,
+		OutputBytes:  res.Stats.OutputBytes,
+		ParseBusy:    res.Stats.ParseBusy,
+		MaxCarryOver: res.Stats.MaxCarryOver,
+	}
+	return out, nil
+}
+
+// ParseReader reads r to the end and parses it with Parse. It is the
+// convenience entry point for files and network sources; inputs larger
+// than memory should be driven through Stream partition by partition.
+func ParseReader(r io.Reader, opts Options) (*Result, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("parparaw: reading input: %w", err)
+	}
+	return Parse(data, opts)
+}

@@ -1,0 +1,106 @@
+package parparaw
+
+import (
+	"time"
+
+	"repro/internal/columnar"
+)
+
+// Table is the columnar parse output: one Column per schema field, all
+// of equal row count, in an Apache-Arrow-style memory layout (validity
+// bitmap + data buffer, plus an offsets buffer for strings).
+type Table struct {
+	t *columnar.Table
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() *Schema { return schemaFromInternal(t.t.Schema()) }
+
+// NumRows returns the record count.
+func (t *Table) NumRows() int { return t.t.NumRows() }
+
+// NumColumns returns the column count.
+func (t *Table) NumColumns() int { return t.t.NumColumns() }
+
+// Column returns column i.
+func (t *Table) Column(i int) *Column { return &Column{c: t.t.Column(i)} }
+
+// ColumnByName returns the first column with the given name, or nil.
+func (t *Table) ColumnByName(name string) *Column {
+	for i, f := range t.t.Schema().Fields {
+		if f.Name == name {
+			return t.Column(i)
+		}
+	}
+	return nil
+}
+
+// Rejected reports whether record i was rejected (Options.RejectInconsistent
+// or Options.RejectMalformed). Rejected records keep their row slot with
+// NULL values so record numbering is stable.
+func (t *Table) Rejected(i int) bool { return t.t.Rejected(i) }
+
+// RejectedCount returns the number of rejected records.
+func (t *Table) RejectedCount() int { return t.t.RejectedCount() }
+
+// DataBytes returns the total bytes of materialised column data — the
+// volume a device-to-host transfer of the parsed output would move.
+func (t *Table) DataBytes() int64 { return t.t.DataBytes() }
+
+// Column is one materialised output column.
+type Column struct {
+	c *columnar.Column
+}
+
+// Name returns the column name.
+func (c *Column) Name() string { return c.c.Field().Name }
+
+// Type returns the column type.
+func (c *Column) Type() Type { return typeFromInternal(c.c.Field().Type) }
+
+// Len returns the row count.
+func (c *Column) Len() int { return c.c.Len() }
+
+// IsNull reports whether row i is NULL.
+func (c *Column) IsNull(i int) bool { return c.c.IsNull(i) }
+
+// NullCount returns the number of NULL rows.
+func (c *Column) NullCount() int { return c.c.NullCount() }
+
+// Int64 returns row i of an Int64, Date32 (days), or TimestampMicros
+// (microseconds) column.
+func (c *Column) Int64(i int) int64 { return c.c.Int64Value(i) }
+
+// Float64 returns row i of a Float64 column.
+func (c *Column) Float64(i int) float64 { return c.c.Float64Value(i) }
+
+// Bool returns row i of a Bool column.
+func (c *Column) Bool(i int) bool { return c.c.BoolValue(i) }
+
+// Bytes returns row i of a String column without copying. The slice
+// aliases the column's data buffer and must not be modified.
+func (c *Column) Bytes(i int) []byte { return c.c.StringValue(i) }
+
+// StringValue returns row i of a String column as a Go string.
+func (c *Column) StringValue(i int) string { return string(c.c.StringValue(i)) }
+
+// Time returns row i of a Date32 or TimestampMicros column as a UTC
+// time.Time.
+func (c *Column) Time(i int) time.Time {
+	switch c.c.Field().Type {
+	case columnar.Date32:
+		return time.Unix(c.c.Int64Value(i)*86400, 0).UTC()
+	case columnar.TimestampMicros:
+		us := c.c.Int64Value(i)
+		return time.Unix(us/1e6, (us%1e6)*1000).UTC()
+	default:
+		return time.Time{}
+	}
+}
+
+// ValueString formats row i for display, whatever the column type.
+func (c *Column) ValueString(i int) string { return c.c.ValueString(i) }
+
+// ValidityPacked exports the validity as an Arrow-style packed bitmap
+// (bit i of byte i/8 set = valid), or nil when no row is NULL.
+func (c *Column) ValidityPacked() []byte { return c.c.ValidityPacked() }

@@ -1,0 +1,73 @@
+package parparaw
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes the table as RFC 4180 CSV: a header row with the
+// column names, comma delimiters, '\n' record delimiters, and fields
+// quoted whenever they contain a delimiter, a quote, or a record
+// delimiter (quotes escaped by doubling). NULL values are written as
+// empty fields, which Parse reads back as NULL for typed columns.
+//
+// It is the inverse of Parse for valid inputs (the fuzz harness checks
+// parse → write → parse fixpoints) and a convenient export path for
+// small results; bulk interchange should use the columnar buffers
+// directly (Column.Bytes, Column.ValidityPacked).
+func WriteCSV(w io.Writer, t *Table) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	schema := t.Schema()
+	for c, f := range schema.Fields {
+		if c > 0 {
+			bw.WriteByte(',')
+		}
+		writeField(bw, []byte(f.Name))
+	}
+	bw.WriteByte('\n')
+	for r := 0; r < t.NumRows(); r++ {
+		for c := 0; c < t.NumColumns(); c++ {
+			if c > 0 {
+				bw.WriteByte(',')
+			}
+			col := t.Column(c)
+			if col.IsNull(r) {
+				continue
+			}
+			switch col.Type() {
+			case String:
+				writeField(bw, col.Bytes(r))
+			case Float64:
+				bw.WriteString(strconv.FormatFloat(col.Float64(r), 'g', -1, 64))
+			default:
+				bw.WriteString(col.ValueString(r))
+			}
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// writeField writes one field, quoting when any byte requires it.
+func writeField(bw *bufio.Writer, v []byte) {
+	needsQuote := len(v) == 0
+	for _, b := range v {
+		if b == ',' || b == '"' || b == '\n' || b == '\r' {
+			needsQuote = true
+			break
+		}
+	}
+	if !needsQuote {
+		bw.Write(v)
+		return
+	}
+	bw.WriteByte('"')
+	for _, b := range v {
+		if b == '"' {
+			bw.WriteByte('"')
+		}
+		bw.WriteByte(b)
+	}
+	bw.WriteByte('"')
+}

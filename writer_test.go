@@ -1,0 +1,60 @@
+package parparaw
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSVRoundTrip(t *testing.T) {
+	res, err := Parse([]byte(ordersCSV), Options{HasHeader: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, res.Table); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "id,item,qty,price,when\n") {
+		t.Errorf("header = %q", strings.SplitN(out, "\n", 2)[0])
+	}
+	if !strings.Contains(out, `"widget, large"`) {
+		t.Error("embedded delimiter not quoted")
+	}
+	if !strings.Contains(out, `"gear ""XL"""`) {
+		t.Error("quotes not escaped by doubling")
+	}
+	again, err := Parse(buf.Bytes(), Options{HasHeader: true, Schema: res.Table.Schema()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Table.NumRows() != res.Table.NumRows() {
+		t.Fatalf("rows = %d, want %d", again.Table.NumRows(), res.Table.NumRows())
+	}
+	for r := 0; r < res.Table.NumRows(); r++ {
+		for c := 0; c < res.Table.NumColumns(); c++ {
+			w := res.Table.Column(c).ValueString(r)
+			g := again.Table.Column(c).ValueString(r)
+			if w != g {
+				t.Errorf("row %d col %d: %q vs %q", r, c, g, w)
+			}
+		}
+	}
+}
+
+func TestWriteCSVNulls(t *testing.T) {
+	res, err := Parse([]byte("1,\n2,5\n"), Options{
+		Schema: NewSchema(Field{Name: "a", Type: Int64}, Field{Name: "b", Type: Int64}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, res.Table); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "a,b\n1,\n2,5\n" {
+		t.Errorf("output = %q", got)
+	}
+}
