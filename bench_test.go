@@ -30,12 +30,61 @@ var benchSpecs = []workload.Spec{workload.Yelp(), workload.Taxi()}
 func benchParse(b *testing.B, spec workload.Spec, opts core.Options) {
 	input := spec.Generate(benchSize, 42)
 	b.SetBytes(int64(len(input)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Parse(input, opts); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkParse is the headline single-shot parse benchmark, tracked
+// in BENCH_*.json: allocs/op is the GC-pressure trajectory and the
+// device-bytes metric is the peak arena footprint (Stats.DeviceBytes).
+// The arena is reused across iterations, as a steady-state ingest
+// service would hold it.
+func BenchmarkParse(b *testing.B) {
+	for _, spec := range benchSpecs {
+		b.Run(spec.Name, func(b *testing.B) {
+			input := spec.Generate(benchSize, 42)
+			arena := device.NewArena()
+			b.SetBytes(int64(len(input)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			var deviceBytes int64
+			for i := 0; i < b.N; i++ {
+				arena.Reset()
+				res, err := core.Parse(input, core.Options{Schema: spec.Schema, Arena: arena})
+				if err != nil {
+					b.Fatal(err)
+				}
+				deviceBytes = res.Stats.DeviceBytes
+			}
+			b.ReportMetric(float64(deviceBytes), "device-bytes")
+		})
+	}
+}
+
+// BenchmarkStreamSteadyState measures the streaming path with its
+// shared, per-partition-recycled arena: allocs/op here is what a
+// sustained ingest pipeline pays per 1 MiB of input.
+func BenchmarkStreamSteadyState(b *testing.B) {
+	spec := benchSpecs[0]
+	input := spec.Generate(benchSize, 42)
+	bus := NewBus(BusConfig{TimeScale: 1e6})
+	b.SetBytes(int64(len(input)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	var deviceBytes int64
+	for i := 0; i < b.N; i++ {
+		res, err := Stream(input, StreamOptions{PartitionSize: 128 << 10, Bus: bus})
+		if err != nil {
+			b.Fatal(err)
+		}
+		deviceBytes = res.Stats.DeviceBytes
+	}
+	b.ReportMetric(float64(deviceBytes), "device-bytes")
 }
 
 // BenchmarkFig9ChunkSize sweeps the chunk size (Figure 9): tiny chunks

@@ -102,16 +102,16 @@ func run(header bool, delim, comment string, crlf bool, modeName string, streami
 		if err != nil {
 			return err
 		}
-		stats = fmt.Sprintf("streamed %d partitions, max carry-over %d B, bus in/out %d/%d B",
-			res.Stats.Partitions, res.Stats.MaxCarryOver, res.Stats.InputBytes, res.Stats.OutputBytes)
+		stats = fmt.Sprintf("streamed %d partitions, max carry-over %d B, bus in/out %d/%d B, device mem %d B",
+			res.Stats.Partitions, res.Stats.MaxCarryOver, res.Stats.InputBytes, res.Stats.OutputBytes, res.Stats.DeviceBytes)
 	} else {
 		res, err := parparaw.Parse(input, opts)
 		if err != nil {
 			return err
 		}
 		table = res.Table
-		stats = fmt.Sprintf("parsed %d chunks at %.1f MB/s (device time %v)",
-			res.Stats.Chunks, res.Stats.Throughput()/1e6, res.Stats.DeviceTime)
+		stats = fmt.Sprintf("parsed %d chunks at %.1f MB/s (device time %v, device mem %d B)",
+			res.Stats.Chunks, res.Stats.Throughput()/1e6, res.Stats.DeviceTime, res.Stats.DeviceBytes)
 	}
 	wall := time.Since(begin)
 

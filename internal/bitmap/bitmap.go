@@ -28,7 +28,23 @@ func New(n int) *Bitmap {
 	if n < 0 {
 		panic("bitmap: negative length")
 	}
-	return &Bitmap{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+	return &Bitmap{n: n, words: make([]uint64, WordsFor(n))}
+}
+
+// WordsFor returns the number of backing words a bitmap of n bits needs.
+func WordsFor(n int) int { return (n + wordBits - 1) / wordBits }
+
+// FromWords returns a bitmap of n bits over the caller-provided (zeroed)
+// backing words, so the words can come from recycled device memory. The
+// slice must hold exactly WordsFor(n) words.
+func FromWords(words []uint64, n int) *Bitmap {
+	if n < 0 {
+		panic("bitmap: negative length")
+	}
+	if len(words) != WordsFor(n) {
+		panic(fmt.Sprintf("bitmap: %d backing words for %d bits, want %d", len(words), n, WordsFor(n)))
+	}
+	return &Bitmap{n: n, words: words}
 }
 
 // Len returns the number of bits.
@@ -138,34 +154,52 @@ func (b *Bitmap) FirstSetInRange(lo, hi int) (int, bool) {
 	return 0, false
 }
 
+// chunkWriterInline is the number of staging words a ChunkWriter holds
+// in-struct. Writers covering at most chunkWriterInline*64 bits (minus
+// alignment slack) stage without any heap allocation — the common case
+// for ParPaRaw's ~31-byte chunks, where a heap-staged writer per chunk
+// per bitmap would dominate the parse phase's allocation count.
+const chunkWriterInline = 3
+
 // ChunkWriter builds one bit range of a shared Bitmap without racing on
 // word boundaries: a device thread creates a ChunkWriter for its chunk's
 // half-open symbol range, sets bits locally, and Flush merges the staged
 // words into the backing bitmap with boundary words combined under OR.
+//
+// ChunkWriterAt returns the writer by value so short-range writers live
+// entirely on the kernel goroutine's stack; a writer must not be copied
+// after its first Set.
 type ChunkWriter struct {
 	target *Bitmap
 	lo, hi int
-	staged []uint64 // local words covering [loWord, hiWord]
 	loWord int
+	nWords int
+	inline [chunkWriterInline]uint64
+	spill  []uint64 // staging for ranges wider than the inline words
 }
 
-// NewChunkWriter returns a writer for bits [lo, hi) of target.
-func (b *Bitmap) NewChunkWriter(lo, hi int) *ChunkWriter {
+// ChunkWriterAt returns a writer for bits [lo, hi) of b.
+func (b *Bitmap) ChunkWriterAt(lo, hi int) ChunkWriter {
 	if lo < 0 || hi > b.n || lo > hi {
 		panic(fmt.Sprintf("bitmap: bad chunk range [%d,%d) of %d", lo, hi, b.n))
 	}
+	w := ChunkWriter{target: b, lo: lo, hi: hi}
 	if lo == hi {
-		return &ChunkWriter{target: b, lo: lo, hi: hi}
+		return w
 	}
-	loWord := lo / wordBits
-	hiWord := (hi - 1) / wordBits
-	return &ChunkWriter{
-		target: b,
-		lo:     lo,
-		hi:     hi,
-		staged: make([]uint64, hiWord-loWord+1),
-		loWord: loWord,
+	w.loWord = lo / wordBits
+	w.nWords = (hi-1)/wordBits - w.loWord + 1
+	if w.nWords > chunkWriterInline {
+		w.spill = make([]uint64, w.nWords)
 	}
+	return w
+}
+
+// NewChunkWriter returns a heap-allocated writer for bits [lo, hi) of
+// target. Kernels on a hot path should prefer ChunkWriterAt.
+func (b *Bitmap) NewChunkWriter(lo, hi int) *ChunkWriter {
+	w := b.ChunkWriterAt(lo, hi)
+	return &w
 }
 
 // Set stages bit i (which must lie inside the writer's range).
@@ -173,7 +207,13 @@ func (w *ChunkWriter) Set(i int) {
 	if i < w.lo || i >= w.hi {
 		panic(fmt.Sprintf("bitmap: chunk writer set %d outside [%d,%d)", i, w.lo, w.hi))
 	}
-	w.staged[i/wordBits-w.loWord] |= 1 << (uint(i) % wordBits)
+	j := i/wordBits - w.loWord
+	mask := uint64(1) << (uint(i) % wordBits)
+	if w.spill != nil {
+		w.spill[j] |= mask
+	} else {
+		w.inline[j] |= mask
+	}
 }
 
 // Flush merges the staged bits into the target. Interior words are owned
@@ -182,10 +222,11 @@ func (w *ChunkWriter) Set(i int) {
 // bitmap's sharding discipline: ParPaRaw chunks write disjoint *bits*, so
 // OR-merging via atomics is race-free and lock-free.
 func (w *ChunkWriter) Flush() {
-	if w.lo == w.hi {
-		return
+	staged := w.spill
+	if staged == nil {
+		staged = w.inline[:w.nWords]
 	}
-	for j, word := range w.staged {
+	for j, word := range staged {
 		if word == 0 {
 			continue
 		}

@@ -130,8 +130,14 @@ func (c Class) Type() columnar.Type {
 // numerical type being required to back their field value. A subsequent
 // parallel reduction over the minimum type yields the inferred type."
 func InferColumn(d *device.Device, phase string, col *css.Column, ix *css.Index) Class {
+	return InferColumnArena(d, nil, phase, col, ix)
+}
+
+// InferColumnArena is InferColumn with the reduction's per-block partial
+// buffer drawn from the device arena.
+func InferColumnArena(d *device.Device, a *device.Arena, phase string, col *css.Column, ix *css.Index) Class {
 	n := ix.NumFields()
-	return device.Reduce(d, phase, n, ClassEmpty, func(k int) Class {
+	return device.ReduceArena(d, a, phase, n, ClassEmpty, func(k int) Class {
 		start, end := ix.Field(k)
 		return Classify(col.Data[start:end])
 	}, Unify)

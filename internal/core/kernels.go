@@ -1,0 +1,337 @@
+package core
+
+// kernels.go decomposes the pipeline into explicit kernel stages, the
+// Go analogue of the paper's fixed sequence of CUDA kernel launches.
+// Each stage declares its device-buffer needs against the run's arena
+// (instead of calling make on the hot path), so a streaming run that
+// resets the arena between partitions re-parses every partition inside
+// the same device footprint — the §4.4 property that the device
+// allocations are made once and reused.
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/bitmap"
+	"repro/internal/columnar"
+	"repro/internal/convert"
+	"repro/internal/css"
+	"repro/internal/device"
+	"repro/internal/offsets"
+	"repro/internal/radix"
+	"repro/internal/scan"
+	"repro/internal/statevec"
+)
+
+// kernelStage is one step of the explicit pipeline. The name labels the
+// stage in the arena's per-stage high-water accounting (device timers
+// keep the coarser five-phase breakdown of Figure 9).
+type kernelStage struct {
+	name string
+	run  func(p *pipeline) error
+}
+
+// kernelPipeline is the stage sequence of §3: the two parse kernels with
+// their scans interleaved, then tagging, partitioning and conversion. A
+// stage may finish the run early by setting p.table (empty outputs).
+var kernelPipeline = []kernelStage{
+	{"parseVectors", (*pipeline).parseVectors},
+	{"scanStates", (*pipeline).scanStates},
+	{"emitBitmaps", (*pipeline).emitBitmapsStage},
+	{"offsetScans", (*pipeline).offsetScans},
+	{"tagSymbols", (*pipeline).tagSymbolsStage},
+	{"partitionScatter", (*pipeline).partitionScatter},
+	{"convertColumns", (*pipeline).convertColumns},
+}
+
+// KernelStageNames lists the explicit kernel stages in execution order —
+// the keys of the arena's per-stage footprint accounting.
+func KernelStageNames() []string {
+	names := make([]string, len(kernelPipeline))
+	for i, st := range kernelPipeline {
+		names[i] = st.name
+	}
+	return names
+}
+
+func (p *pipeline) run() (*columnar.Table, error) {
+	for _, st := range kernelPipeline {
+		p.Arena.SetPhase(st.name)
+		if err := st.run(p); err != nil {
+			return nil, err
+		}
+		if p.table != nil {
+			break
+		}
+	}
+	return p.table, nil
+}
+
+// parseVectors is the first parse kernel (§3.1, Figure 3): one simulated
+// DFA instance per possible start state per chunk, producing each
+// chunk's state-transition vector. The vectors live in one flat device
+// buffer, one row per chunk.
+func (p *pipeline) parseVectors() error {
+	n := len(p.input)
+	p.stats.InputBytes = int64(n)
+	p.chunks = (n + p.ChunkSize - 1) / p.ChunkSize
+	p.stats.Chunks = p.chunks
+	m := p.Machine
+	p.vectors = statevec.AllocVectors(p.Arena, p.chunks, m.NumStates())
+	p.Device.Launch("parse", p.chunks, func(c int) {
+		lo, hi := p.chunkBounds(c)
+		m.ChunkVectorInto(p.vectors[c], p.input[lo:hi])
+	})
+	return nil
+}
+
+// scanStates resolves every chunk's true start state with the composite
+// exclusive scan over the state-transition vectors (§3.1) and validates
+// the input's end state.
+func (p *pipeline) scanStates() error {
+	n := len(p.input)
+	d, m := p.Device, p.Machine
+	scanned := device.Alloc[statevec.Vector](p.Arena, p.chunks)
+	total := statevec.ExclusiveScanArena(d, p.Arena, "scan", m.NumStates(), p.vectors, scanned)
+	p.startState = device.Alloc[uint8](p.Arena, p.chunks)
+	d.Launch("scan", p.chunks, func(c int) {
+		p.startState[c] = scanned[c][m.Start()]
+	})
+	p.vectors = nil // dead: the scan results are fully extracted below
+	p.endState = total[m.Start()]
+	if n == 0 {
+		p.endState = m.Start()
+	}
+	// In remainder mode a non-accepting end state is expected (the tail
+	// will be re-parsed with the next partition); only the invalid sink
+	// is a hard failure.
+	invalid := m.IsInvalid(p.endState) ||
+		(!m.Accepting(p.endState) && p.Trailing == TrailingRecord)
+	if invalid {
+		if p.Validate {
+			return fmt.Errorf("core: invalid input: DFA ends in state %q", m.StateName(p.endState))
+		}
+		p.stats.InvalidInput = true
+	}
+	p.trailing = n > 0 && m.MidRecord(p.endState) && p.Trailing == TrailingRecord
+	return nil
+}
+
+// emitBitmapsStage is the second parse kernel (§3.1-3.2): each chunk,
+// now knowing its start state, simulates a single DFA instance and
+// emits the record/field/control bitmap indexes plus per-chunk offset
+// metadata. In remainder mode it also locates the carry-over boundary.
+func (p *pipeline) emitBitmapsStage() error {
+	p.emitBitmaps()
+	if p.Trailing == TrailingRemainder {
+		n := len(p.input)
+		if last, ok := p.bitmaps.record.LastSetInRange(0, n); ok {
+			p.remainder = n - last - 1
+		} else {
+			p.remainder = n
+		}
+	}
+	return nil
+}
+
+// offsetScans runs the record and column offset scans (§3.2, Figure 4),
+// resolves the column count and selection, and finishes early with an
+// empty table when there is nothing to partition.
+func (p *pipeline) offsetScans() error {
+	d := p.Device
+	recCounts := device.Alloc[int64](p.Arena, p.chunks)
+	colOffs := device.Alloc[offsets.ColumnOffset](p.Arena, p.chunks)
+	for c, cm := range p.meta {
+		recCounts[c] = cm.recCount
+		colOffs[c] = cm.colOff
+	}
+	p.recBase = device.Alloc[int64](p.Arena, p.chunks)
+	totalRecs := scan.ExclusiveArena(d, p.Arena, "scan", scan.Sum[int64](), recCounts, p.recBase)
+	p.colBase = device.Alloc[offsets.ColumnOffset](p.Arena, p.chunks)
+	p.colTotal = offsets.ExclusiveColumnScanArena(d, p.Arena, "scan", colOffs, p.colBase)
+
+	p.numRecords = totalRecs
+	if p.trailing {
+		p.numRecords++
+	}
+	if err := p.resolveColumns(); err != nil {
+		return err
+	}
+	if err := p.resolveSelection(); err != nil {
+		return err
+	}
+	p.numOutRecords = p.numRecords - int64(countBelow(p.SkipRecords, p.numRecords))
+	p.stats.Records = p.numOutRecords
+	p.stats.Columns = len(p.selected)
+
+	if p.numOutRecords == 0 || len(p.selected) == 0 {
+		table, err := p.emptyTable()
+		if err != nil {
+			return err
+		}
+		p.table = table
+		return nil
+	}
+	if p.numOutRecords > int64(^uint32(0)) {
+		return fmt.Errorf("core: %d records exceed the 32-bit record-tag space", p.numOutRecords)
+	}
+	return nil
+}
+
+// tagSymbolsStage is the tag phase (§3.2 bottom, §4.1): every symbol is
+// tagged with its output column, plus the mode-specific record
+// association.
+func (p *pipeline) tagSymbolsStage() error {
+	p.rejected = p.tagSymbols()
+	return nil
+}
+
+// partitionScatter is the partition phase (§3.3): a stable radix scatter
+// of the symbols (and their per-mode payloads) into per-column
+// concatenated symbol strings, with the key histogram yielding the CSS
+// boundaries.
+func (p *pipeline) partitionScatter() error {
+	d, n := p.Device, len(p.input)
+	keys := p.tags.colTags
+	keyBits := bits.Len32(p.sentinel)
+	perm := radix.SortPermutationArena(d, p.Arena, "partition", keys, keyBits)
+	numKeys := int(p.sentinel) + 1
+	p.hist = radix.HistogramKeysArena(d, p.Arena, "partition", keys, numKeys)
+
+	symSrc := p.input
+	if p.Mode == css.InlineTerminated {
+		symSrc = p.tags.rewrite
+	}
+	p.sortedSyms = device.Alloc[byte](p.Arena, n)
+	radix.Gather(d, "partition", p.sortedSyms, symSrc, perm)
+	if p.Mode == css.RecordTagged {
+		p.sortedRecs = device.Alloc[uint32](p.Arena, n)
+		radix.Gather(d, "partition", p.sortedRecs, p.tags.recTags, perm)
+	}
+	if p.Mode == css.VectorDelimited {
+		p.sortedAux = device.Alloc[bool](p.Arena, n)
+		radix.Gather(d, "partition", p.sortedAux, p.tags.aux, perm)
+	}
+	p.tags = nil // tag buffers and permutation are dead after the scatter
+
+	p.colStart = device.Alloc[int64](p.Arena, numKeys)
+	scan.Sequential(scan.Sum[int64](), p.hist, p.colStart, false)
+	return nil
+}
+
+// convertColumns is the convert phase (§3.3): per-column CSS index
+// construction and typed columnar materialisation. Output buffers come
+// from the Go heap — they outlive the run — while index and inference
+// temporaries stay on the arena.
+func (p *pipeline) convertColumns() error {
+	d := p.Device
+	outFields := p.outputFields(p.headerNames)
+	columns := make([]*columnar.Column, len(p.selected))
+	for out, orig := range p.selected {
+		lo, hi := p.colStart[out], p.colStart[out]+p.hist[out]
+		cssCol := &css.Column{
+			Mode:       p.Mode,
+			Data:       p.sortedSyms[lo:hi],
+			Terminator: p.Terminator,
+		}
+		if p.sortedRecs != nil {
+			cssCol.RecTags = p.sortedRecs[lo:hi]
+		}
+		if p.sortedAux != nil {
+			cssCol.Aux = p.sortedAux[lo:hi]
+		}
+		ix, err := cssCol.BuildIndexArena(d, p.Arena, "convert", int(p.numOutRecords))
+		if err != nil {
+			return err
+		}
+		if err := p.alignIndex(cssCol, ix, out); err != nil {
+			return err
+		}
+		field := outFields[out]
+		if p.Schema == nil {
+			field.Type = convert.InferColumnArena(d, p.Arena, "convert", cssCol, ix).Type()
+			outFields[out] = field
+		}
+		pol := convert.Policy{RejectOnError: p.RejectMalformed}
+		if def, ok := p.DefaultValues[orig]; ok {
+			pol.Default = []byte(def)
+		}
+		col, err := convert.Materialize(d, "convert", cssCol, ix, field, pol, p.rejected)
+		if err != nil {
+			return err
+		}
+		columns[out] = col
+	}
+
+	rejected := p.rejected
+	if !anyTrue(rejected) {
+		rejected = nil
+	}
+	table, err := columnar.NewTable(columnar.NewSchema(outFields...), columns, rejected)
+	if err != nil {
+		return err
+	}
+	p.table = table
+	return nil
+}
+
+// emitBitmaps is the body of the second parse kernel: each chunk
+// simulates a single DFA instance from its known start state and records
+// every symbol's interpretation in the three bitmap indexes. Per-chunk
+// record counts and rel/abs column offsets (§3.2) are collected in the
+// same sweep (the paper derives them from the bitmaps with popc;
+// counting during emission is arithmetically identical and saves a
+// pass). The bitmap words and chunk metadata are arena-backed; the
+// per-chunk staging words live on the kernel goroutine's stack.
+func (p *pipeline) emitBitmaps() {
+	n := len(p.input)
+	m := p.Machine
+	p.bitmaps = &bitmaps{
+		record:  bitmap.FromWords(device.Alloc[uint64](p.Arena, bitmap.WordsFor(n)), n),
+		field:   bitmap.FromWords(device.Alloc[uint64](p.Arena, bitmap.WordsFor(n)), n),
+		control: bitmap.FromWords(device.Alloc[uint64](p.Arena, bitmap.WordsFor(n)), n),
+	}
+	p.meta = device.Alloc[chunkMeta](p.Arena, p.chunks)
+	p.Device.Launch("parse", p.chunks, func(c int) {
+		lo, hi := p.chunkBounds(c)
+		wr := p.bitmaps.record.ChunkWriterAt(lo, hi)
+		wf := p.bitmaps.field.ChunkWriterAt(lo, hi)
+		wc := p.bitmaps.control.ChunkWriterAt(lo, hi)
+		s := p.startState[c]
+		cm := chunkMeta{}
+		relCol := 0
+		for i := lo; i < hi; i++ {
+			g := m.Group(p.input[i])
+			e := m.Emission(s, g)
+			switch {
+			case e.IsRecordDelim():
+				wr.Set(i)
+				wc.Set(i)
+				cm.recCount++
+				if !cm.sawRec {
+					cm.sawRec = true
+					cm.relFirst = relCol
+				} else {
+					cm.mm.Observe(relCol + 1)
+				}
+				relCol = 0
+			case e.IsFieldDelim():
+				wf.Set(i)
+				wc.Set(i)
+				relCol++
+			case e.IsControl():
+				wc.Set(i)
+			}
+			s = m.NextByGroup(s, g)
+		}
+		wr.Flush()
+		wf.Flush()
+		wc.Flush()
+		if cm.sawRec {
+			cm.colOff = offsets.ColumnOffset{Kind: offsets.Abs, Value: relCol}
+		} else {
+			cm.colOff = offsets.ColumnOffset{Kind: offsets.Rel, Value: relCol}
+		}
+		p.meta[c] = cm
+	})
+}

@@ -37,6 +37,14 @@ type Options struct {
 	// Device executes the data-parallel kernels. Nil uses a process-wide
 	// default device.
 	Device *device.Device
+	// Arena supplies the run's device memory: every transient pipeline
+	// buffer is drawn from it instead of the Go heap. Nil uses a fresh
+	// arena for the run. Callers that parse repeatedly — above all the
+	// streaming pipeline — should pass one arena and Reset it between
+	// runs, so steady-state runs recycle the first run's buffers and the
+	// device footprint stays fixed (§4.4). The arena must not be reset
+	// while a run is in flight.
+	Arena *device.Arena
 	// ChunkSize is the bytes per chunk (Figure 9's x-axis). 0 means
 	// DefaultChunkSize.
 	ChunkSize int
@@ -123,6 +131,9 @@ func (o Options) withDefaults() Options {
 	if o.Device == nil {
 		o.Device = defaultDevice
 	}
+	if o.Arena == nil {
+		o.Arena = device.NewArena()
+	}
 	if o.ChunkSize <= 0 {
 		o.ChunkSize = DefaultChunkSize
 	}
@@ -158,6 +169,10 @@ type Stats struct {
 	// Phases holds the per-phase device time of this run (Figure 9's
 	// breakdown): parse, scan, tag, partition, convert.
 	Phases map[string]time.Duration
+	// DeviceBytes is the peak arena footprint — the simulated device's
+	// memory high-water mark. With a shared arena (streaming) it covers
+	// the arena's lifetime up to the end of this run.
+	DeviceBytes int64
 	// Duration is the wall-clock time of the run.
 	Duration time.Duration
 }

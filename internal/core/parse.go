@@ -2,22 +2,23 @@ package core
 
 import (
 	"fmt"
-	"math/bits"
 	"time"
 
 	"repro/internal/columnar"
-	"repro/internal/convert"
 	"repro/internal/css"
+	"repro/internal/device"
 	"repro/internal/offsets"
-	"repro/internal/radix"
-	"repro/internal/scan"
 	"repro/internal/statevec"
 	"repro/internal/transcode"
 	"repro/internal/utfx"
 )
 
 // Parse runs the full ParPaRaw pipeline over input and returns the
-// columnar result.
+// columnar result. The kernel stages and their device-buffer needs are
+// defined in kernels.go; all transient buffers come from the run's
+// arena (Options.Arena), so a caller that reuses one arena across runs
+// — as the streaming pipeline does — parses inside a fixed device
+// footprint.
 func Parse(input []byte, opts Options) (*Result, error) {
 	o := opts.withDefaults()
 	start := time.Now()
@@ -30,12 +31,16 @@ func Parse(input []byte, opts Options) (*Result, error) {
 		o.Encoding = enc
 		body = body[skip:]
 	}
+	rawLen := len(body) // raw (pre-transcode, post-BOM) length for remainder mapping
+	o.Arena.SetPhase("transcode")
 	switch o.Encoding {
 	case utfx.UTF16LE:
-		body = transcode.UTF16ToUTF8(o.Device, "transcode", body, false)
+		body = transcode.UTF16ToUTF8Arena(o.Device, o.Arena, "transcode", body, false)
 	case utfx.UTF16BE:
-		body = transcode.UTF16ToUTF8(o.Device, "transcode", body, true)
+		body = transcode.UTF16ToUTF8Arena(o.Device, o.Arena, "transcode", body, true)
 	}
+	tbody := body // the full transcoded body, before row/header trimming
+	transcoded := o.Encoding == utfx.UTF16LE || o.Encoding == utfx.UTF16BE
 	if o.SkipRows > 0 {
 		body = pruneRows(body, o.Machine, o.SkipRows)
 	}
@@ -53,10 +58,31 @@ func Parse(input []byte, opts Options) (*Result, error) {
 		return nil, err
 	}
 
+	remainder := p.remainder
+	if transcoded && o.Trailing == TrailingRemainder {
+		// The pipeline's remainder counts transcoded UTF-8 bytes, but the
+		// streaming carry-over prepends *raw* input bytes to the next
+		// partition. The parsed input is a suffix of the transcoded body
+		// (header and skipped rows are consumed from the front), so the
+		// incomplete tail lengths agree; map the complete UTF-8 prefix
+		// back to its raw UTF-16 length. Everything after it — including
+		// any replacement emitted for a partition-split code unit, which
+		// re-parses intact once the next partition supplies the other
+		// half — is carried over.
+		complete := tbody[:len(tbody)-p.remainder]
+		remainder = rawLen - transcode.RawUTF16Bytes(o.Device, o.Arena, "transcode", complete)
+		if remainder < 0 {
+			// An odd trailing byte consumed by the header/skip prefix
+			// over-counts by one raw byte; nothing is left to carry.
+			remainder = 0
+		}
+	}
+
 	stats := p.stats
 	stats.Duration = time.Since(start)
 	stats.Phases = phaseDelta(before, o.Device.Timers().Snapshot())
-	return &Result{Table: table, Header: header, Remainder: p.remainder, Stats: stats}, nil
+	stats.DeviceBytes = o.Arena.PeakBytes()
+	return &Result{Table: table, Header: header, Remainder: remainder, Stats: stats}, nil
 }
 
 func phaseDelta(before, after map[string]time.Duration) map[string]time.Duration {
@@ -73,7 +99,8 @@ func phaseDelta(before, after map[string]time.Duration) map[string]time.Duration
 	return out
 }
 
-// pipeline carries the intermediate state of one parse run.
+// pipeline carries the intermediate state of one parse run between the
+// kernel stages of kernels.go.
 type pipeline struct {
 	Options
 	input       []byte
@@ -81,6 +108,7 @@ type pipeline struct {
 	stats       Stats
 
 	chunks     int
+	vectors    []statevec.Vector // parseVectors → scanStates
 	startState []uint8
 	endState   uint8
 	trailing   bool
@@ -100,167 +128,17 @@ type pipeline struct {
 	colMap        []uint32 // input column -> output column or sentinel
 	sentinel      uint32
 
-	tags *tagBuffers
-}
+	tags     *tagBuffers
+	rejected []bool
 
-func (p *pipeline) run() (*columnar.Table, error) {
-	n := len(p.input)
-	p.stats.InputBytes = int64(n)
-	d := p.Device
-	m := p.Machine
+	// partitionScatter → convertColumns.
+	hist       []int64
+	colStart   []int64
+	sortedSyms []byte
+	sortedRecs []uint32
+	sortedAux  []bool
 
-	// --- parse: per-chunk state-transition vectors (§3.1, Figure 3).
-	p.chunks = (n + p.ChunkSize - 1) / p.ChunkSize
-	p.stats.Chunks = p.chunks
-	vectors := make([]statevec.Vector, p.chunks)
-	d.Launch("parse", p.chunks, func(c int) {
-		lo, hi := p.chunkBounds(c)
-		vectors[c] = m.ChunkVector(p.input[lo:hi])
-	})
-
-	// --- scan: composite exclusive scan yields every chunk's start state.
-	scanned := make([]statevec.Vector, p.chunks)
-	total := statevec.ExclusiveScan(d, "scan", m.NumStates(), vectors, scanned)
-	p.startState = make([]uint8, p.chunks)
-	d.Launch("scan", p.chunks, func(c int) {
-		p.startState[c] = scanned[c][m.Start()]
-	})
-	p.endState = total[m.Start()]
-	if n == 0 {
-		p.endState = m.Start()
-	}
-	// In remainder mode a non-accepting end state is expected (the tail
-	// will be re-parsed with the next partition); only the invalid sink
-	// is a hard failure.
-	invalid := m.IsInvalid(p.endState) ||
-		(!m.Accepting(p.endState) && p.Trailing == TrailingRecord)
-	if invalid {
-		if p.Validate {
-			return nil, fmt.Errorf("core: invalid input: DFA ends in state %q", m.StateName(p.endState))
-		}
-		p.stats.InvalidInput = true
-	}
-	p.trailing = n > 0 && m.MidRecord(p.endState) && p.Trailing == TrailingRecord
-
-	// --- parse (second kernel): single-DFA emission pass producing the
-	// three bitmap indexes and per-chunk offsets metadata (§3.1-3.2).
-	p.emitBitmaps()
-	if p.Trailing == TrailingRemainder {
-		if last, ok := p.bitmaps.record.LastSetInRange(0, n); ok {
-			p.remainder = n - last - 1
-		} else {
-			p.remainder = n
-		}
-	}
-
-	// --- scan: record and column offset scans (§3.2, Figure 4).
-	recCounts := make([]int64, p.chunks)
-	colOffs := make([]offsets.ColumnOffset, p.chunks)
-	for c, cm := range p.meta {
-		recCounts[c] = cm.recCount
-		colOffs[c] = cm.colOff
-	}
-	p.recBase = make([]int64, p.chunks)
-	totalRecs := scan.Exclusive(d, "scan", scan.Sum[int64](), recCounts, p.recBase)
-	p.colBase = make([]offsets.ColumnOffset, p.chunks)
-	p.colTotal = offsets.ExclusiveColumnScan(d, "scan", colOffs, p.colBase)
-
-	p.numRecords = totalRecs
-	if p.trailing {
-		p.numRecords++
-	}
-	if err := p.resolveColumns(); err != nil {
-		return nil, err
-	}
-	if err := p.resolveSelection(); err != nil {
-		return nil, err
-	}
-	p.numOutRecords = p.numRecords - int64(countBelow(p.SkipRecords, p.numRecords))
-	p.stats.Records = p.numOutRecords
-	p.stats.Columns = len(p.selected)
-
-	if p.numOutRecords == 0 || len(p.selected) == 0 {
-		return p.emptyTable()
-	}
-	if p.numOutRecords > int64(^uint32(0)) {
-		return nil, fmt.Errorf("core: %d records exceed the 32-bit record-tag space", p.numOutRecords)
-	}
-
-	// --- tag: per-symbol column tags plus mode-specific metadata (§3.2
-	// bottom, §4.1).
-	rejected := p.tagSymbols()
-
-	// --- partition: stable radix scatter into per-column CSSs (§3.3).
-	keys := p.tags.colTags
-	keyBits := bits.Len32(p.sentinel)
-	perm := radix.SortPermutation(d, "partition", keys, keyBits)
-	numKeys := int(p.sentinel) + 1
-	hist := radix.HistogramKeys(d, "partition", keys, numKeys)
-
-	symSrc := p.input
-	if p.Mode == css.InlineTerminated {
-		symSrc = p.tags.rewrite
-	}
-	sortedSyms := make([]byte, n)
-	radix.Gather(d, "partition", sortedSyms, symSrc, perm)
-	var sortedRecs []uint32
-	if p.Mode == css.RecordTagged {
-		sortedRecs = make([]uint32, n)
-		radix.Gather(d, "partition", sortedRecs, p.tags.recTags, perm)
-	}
-	var sortedAux []bool
-	if p.Mode == css.VectorDelimited {
-		sortedAux = make([]bool, n)
-		radix.Gather(d, "partition", sortedAux, p.tags.aux, perm)
-	}
-	p.tags = nil // tag buffers and permutation are dead after the scatter
-
-	colStart := make([]int64, numKeys)
-	scan.Sequential(scan.Sum[int64](), hist, colStart, false)
-
-	// --- convert: per-column CSS index and typed materialisation (§3.3).
-	outFields := p.outputFields(p.headerNames)
-	columns := make([]*columnar.Column, len(p.selected))
-	for out, orig := range p.selected {
-		lo, hi := colStart[out], colStart[out]+hist[out]
-		cssCol := &css.Column{
-			Mode:       p.Mode,
-			Data:       sortedSyms[lo:hi],
-			Terminator: p.Terminator,
-		}
-		if sortedRecs != nil {
-			cssCol.RecTags = sortedRecs[lo:hi]
-		}
-		if sortedAux != nil {
-			cssCol.Aux = sortedAux[lo:hi]
-		}
-		ix, err := cssCol.BuildIndex(d, "convert", int(p.numOutRecords))
-		if err != nil {
-			return nil, err
-		}
-		if err := p.alignIndex(cssCol, ix, out); err != nil {
-			return nil, err
-		}
-		field := outFields[out]
-		if p.Schema == nil {
-			field.Type = convert.InferColumn(d, "convert", cssCol, ix).Type()
-			outFields[out] = field
-		}
-		pol := convert.Policy{RejectOnError: p.RejectMalformed}
-		if def, ok := p.DefaultValues[orig]; ok {
-			pol.Default = []byte(def)
-		}
-		col, err := convert.Materialize(d, "convert", cssCol, ix, field, pol, rejected)
-		if err != nil {
-			return nil, err
-		}
-		columns[out] = col
-	}
-
-	if !anyTrue(rejected) {
-		rejected = nil
-	}
-	return columnar.NewTable(columnar.NewSchema(outFields...), columns, rejected)
+	table *columnar.Table // the run's output; set by a finishing stage
 }
 
 func (p *pipeline) chunkBounds(c int) (lo, hi int) {
@@ -308,7 +186,7 @@ func (p *pipeline) resolveColumns() error {
 // output-column map, with the sentinel key for irrelevant symbols.
 func (p *pipeline) resolveSelection() error {
 	if p.SelectColumns == nil {
-		p.selected = make([]int, p.numColumns)
+		p.selected = device.Alloc[int](p.Arena, p.numColumns)
 		for i := range p.selected {
 			p.selected[i] = i
 		}
@@ -316,7 +194,7 @@ func (p *pipeline) resolveSelection() error {
 		p.selected = p.SelectColumns
 	}
 	p.sentinel = uint32(len(p.selected))
-	p.colMap = make([]uint32, p.numColumns)
+	p.colMap = device.Alloc[uint32](p.Arena, p.numColumns)
 	for i := range p.colMap {
 		p.colMap[i] = p.sentinel
 	}

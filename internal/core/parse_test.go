@@ -606,3 +606,25 @@ func TestParseTrailingRemainderInlineMode(t *testing.T) {
 		t.Errorf("cell = %q", got)
 	}
 }
+
+// TestArenaPhaseAccounting checks that every explicit kernel stage
+// draws device memory through the run's arena and appears in the
+// per-stage high-water accounting.
+func TestArenaPhaseAccounting(t *testing.T) {
+	arena := device.NewArena()
+	opts := testOpts()
+	opts.Arena = arena
+	input := strings.Repeat("12,\"a,b\",3.5\n", 200)
+	res, err := Parse([]byte(input), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.DeviceBytes != arena.PeakBytes() {
+		t.Errorf("DeviceBytes = %d, arena peak = %d", res.Stats.DeviceBytes, arena.PeakBytes())
+	}
+	for _, stage := range KernelStageNames() {
+		if arena.PhasePeak(stage) == 0 {
+			t.Errorf("stage %q has no arena footprint recorded", stage)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bitmap"
 	"repro/internal/css"
+	"repro/internal/device"
 	"repro/internal/offsets"
 )
 
@@ -24,65 +25,6 @@ type chunkMeta struct {
 	mm       offsets.MinMax       // column counts of records fully inside the chunk
 }
 
-// emitBitmaps is the second half of the parse phase (§3.1): each chunk,
-// now knowing its start state, simulates a single DFA instance and
-// records every symbol's interpretation in the three bitmap indexes.
-// Per-chunk record counts and rel/abs column offsets (§3.2) are collected
-// in the same sweep (the paper derives them from the bitmaps with popc;
-// counting during emission is arithmetically identical and saves a pass).
-func (p *pipeline) emitBitmaps() {
-	n := len(p.input)
-	m := p.Machine
-	p.bitmaps = &bitmaps{
-		record:  bitmap.New(n),
-		field:   bitmap.New(n),
-		control: bitmap.New(n),
-	}
-	p.meta = make([]chunkMeta, p.chunks)
-	p.Device.Launch("parse", p.chunks, func(c int) {
-		lo, hi := p.chunkBounds(c)
-		wr := p.bitmaps.record.NewChunkWriter(lo, hi)
-		wf := p.bitmaps.field.NewChunkWriter(lo, hi)
-		wc := p.bitmaps.control.NewChunkWriter(lo, hi)
-		s := p.startState[c]
-		cm := chunkMeta{}
-		relCol := 0
-		for i := lo; i < hi; i++ {
-			g := m.Group(p.input[i])
-			e := m.Emission(s, g)
-			switch {
-			case e.IsRecordDelim():
-				wr.Set(i)
-				wc.Set(i)
-				cm.recCount++
-				if !cm.sawRec {
-					cm.sawRec = true
-					cm.relFirst = relCol
-				} else {
-					cm.mm.Observe(relCol + 1)
-				}
-				relCol = 0
-			case e.IsFieldDelim():
-				wf.Set(i)
-				wc.Set(i)
-				relCol++
-			case e.IsControl():
-				wc.Set(i)
-			}
-			s = m.NextByGroup(s, g)
-		}
-		wr.Flush()
-		wf.Flush()
-		wc.Flush()
-		if cm.sawRec {
-			cm.colOff = offsets.ColumnOffset{Kind: offsets.Abs, Value: relCol}
-		} else {
-			cm.colOff = offsets.ColumnOffset{Kind: offsets.Rel, Value: relCol}
-		}
-		p.meta[c] = cm
-	})
-}
-
 // tagBuffers hold the per-symbol tag outputs.
 type tagBuffers struct {
 	colTags []uint32 // sort keys; sentinel marks irrelevant symbols
@@ -99,17 +41,19 @@ type tagBuffers struct {
 // count deviates from the expected count (when RejectInconsistent).
 func (p *pipeline) tagSymbols() []bool {
 	n := len(p.input)
-	t := &tagBuffers{colTags: make([]uint32, n)}
+	t := &tagBuffers{colTags: device.Alloc[uint32](p.Arena, n)}
 	switch p.Mode {
 	case css.RecordTagged:
-		t.recTags = make([]uint32, n)
+		t.recTags = device.Alloc[uint32](p.Arena, n)
 	case css.InlineTerminated:
-		t.rewrite = make([]byte, n)
+		t.rewrite = device.Alloc[byte](p.Arena, n)
 	case css.VectorDelimited:
-		t.aux = make([]bool, n)
+		t.aux = device.Alloc[bool](p.Arena, n)
 	}
 	p.tags = t
 
+	// The reject vector escapes into the output table, so it must come
+	// from the Go heap, not the recycled device arena.
 	var rejected []bool
 	if p.RejectInconsistent || p.RejectMalformed {
 		rejected = make([]bool, p.numOutRecords)

@@ -92,16 +92,23 @@ func (ix *Index) Field(k int) (start, end int64) {
 // phase attributes the work to a pipeline timer (this is part of the
 // convert step in Figure 9's breakdown).
 func (c *Column) BuildIndex(d *device.Device, phase string, numRecords int) (*Index, error) {
+	return c.BuildIndexArena(d, nil, phase, numRecords)
+}
+
+// BuildIndexArena is BuildIndex with the index buffers and scan
+// temporaries drawn from the device arena. The returned index is
+// arena-owned: valid until the arena is reset.
+func (c *Column) BuildIndexArena(d *device.Device, a *device.Arena, phase string, numRecords int) (*Index, error) {
 	switch c.Mode {
 	case RecordTagged:
-		return indexRecordTagged(d, phase, c.Data, c.RecTags, numRecords)
+		return indexRecordTagged(d, a, phase, c.Data, c.RecTags, numRecords)
 	case InlineTerminated:
-		return indexByMark(d, phase, len(c.Data), func(i int) bool { return c.Data[i] == c.Terminator })
+		return indexByMark(d, a, phase, len(c.Data), func(i int) bool { return c.Data[i] == c.Terminator })
 	case VectorDelimited:
 		if len(c.Aux) != len(c.Data) {
 			return nil, fmt.Errorf("css: aux vector length %d != data length %d", len(c.Aux), len(c.Data))
 		}
-		return indexByMark(d, phase, len(c.Data), func(i int) bool { return c.Aux[i] })
+		return indexByMark(d, a, phase, len(c.Data), func(i int) bool { return c.Aux[i] })
 	default:
 		return nil, fmt.Errorf("css: unknown mode %v", c.Mode)
 	}
@@ -111,14 +118,14 @@ func (c *Column) BuildIndex(d *device.Device, phase string, numRecords int) (*In
 // symbols per record tag (the run lengths — tags are non-decreasing
 // after the stable partition), then an exclusive prefix sum yields the
 // offsets.
-func indexRecordTagged(d *device.Device, phase string, data []byte, recTags []uint32, numRecords int) (*Index, error) {
+func indexRecordTagged(d *device.Device, a *device.Arena, phase string, data []byte, recTags []uint32, numRecords int) (*Index, error) {
 	if len(recTags) != len(data) {
 		return nil, fmt.Errorf("css: record tags length %d != data length %d", len(recTags), len(data))
 	}
 	if numRecords < 0 {
 		return nil, fmt.Errorf("css: negative record count")
 	}
-	lengths := make([]int64, numRecords)
+	lengths := device.Alloc[int64](a, numRecords)
 	// Per-symbol run detection: a symbol owns the run start when its tag
 	// differs from its predecessor's; run length = distance to the next
 	// tag change. Equivalent to a histogram because tags are sorted; the
@@ -140,8 +147,8 @@ func indexRecordTagged(d *device.Device, phase string, data []byte, recTags []ui
 			i = j
 		}
 	})
-	starts := make([]int64, numRecords)
-	scan.Exclusive(d, phase, scan.Sum[int64](), lengths, starts)
+	starts := device.Alloc[int64](a, numRecords)
+	scan.ExclusiveArena(d, a, phase, scan.Sum[int64](), lengths, starts)
 	return &Index{Starts: starts, Lengths: lengths}, nil
 }
 
@@ -149,11 +156,11 @@ func indexRecordTagged(d *device.Device, phase string, data []byte, recTags []ui
 // CSSs: field k spans from just after mark k-1 to mark k. When the CSS
 // does not end with a mark (a trailing record without final delimiter),
 // the tail forms one more field.
-func indexByMark(d *device.Device, phase string, n int, marked func(int) bool) (*Index, error) {
+func indexByMark(d *device.Device, a *device.Arena, phase string, n int, marked func(int) bool) (*Index, error) {
 	// Pass 1: per-tile mark counts.
 	const tile = 4096
 	tiles := (n + tile - 1) / tile
-	counts := make([]int64, tiles)
+	counts := device.Alloc[int64](a, tiles)
 	d.Launch(phase, tiles, func(t int) {
 		lo, hi := t*tile, (t+1)*tile
 		if hi > n {
@@ -167,11 +174,11 @@ func indexByMark(d *device.Device, phase string, n int, marked func(int) bool) (
 		}
 		counts[t] = c
 	})
-	offs := make([]int64, tiles)
-	total := scan.Exclusive(d, phase, scan.Sum[int64](), counts, offs)
+	offs := device.Alloc[int64](a, tiles)
+	total := scan.ExclusiveArena(d, a, phase, scan.Sum[int64](), counts, offs)
 
 	// Pass 2: scatter mark positions.
-	marks := make([]int64, total)
+	marks := device.Alloc[int64](a, int(total))
 	d.Launch(phase, tiles, func(t int) {
 		lo, hi := t*tile, (t+1)*tile
 		if hi > n {
@@ -192,7 +199,7 @@ func indexByMark(d *device.Device, phase string, n int, marked func(int) bool) (
 		trailing = true
 		fields++
 	}
-	ix := &Index{Starts: make([]int64, fields), Lengths: make([]int64, fields)}
+	ix := &Index{Starts: device.Alloc[int64](a, fields), Lengths: device.Alloc[int64](a, fields)}
 	d.Launch(phase, fields, func(k int) {
 		var start int64
 		if k > 0 {

@@ -1,0 +1,117 @@
+package device
+
+import "testing"
+
+func TestArenaAllocZeroed(t *testing.T) {
+	a := NewArena()
+	b := Alloc[int64](a, 100)
+	if len(b) != 100 {
+		t.Fatalf("len = %d, want 100", len(b))
+	}
+	for i := range b {
+		b[i] = int64(i) + 1
+	}
+	a.Reset()
+	c := Alloc[int64](a, 100)
+	for i, v := range c {
+		if v != 0 {
+			t.Fatalf("recycled buffer not zeroed at %d: %d", i, v)
+		}
+	}
+}
+
+func TestArenaRecycles(t *testing.T) {
+	a := NewArena()
+	b := Alloc[byte](a, 1000)
+	reserved := a.ReservedBytes()
+	if reserved < 1000 {
+		t.Fatalf("reserved = %d, want >= 1000", reserved)
+	}
+	b[0] = 1
+	a.Reset()
+	// Same class (1000 rounds to 1024): must be served from the free list.
+	c := Alloc[byte](a, 600)
+	if got := a.ReservedBytes(); got != reserved {
+		t.Fatalf("reserved grew across reset: %d -> %d", reserved, got)
+	}
+	if &b[0] != &c[0] {
+		t.Fatalf("recycled buffer has different backing array")
+	}
+	total, reused := a.Allocs()
+	if total != 2 || reused != 1 {
+		t.Fatalf("allocs = (%d, %d), want (2, 1)", total, reused)
+	}
+}
+
+func TestArenaClassesByType(t *testing.T) {
+	a := NewArena()
+	Alloc[uint32](a, 64)
+	a.Reset()
+	// Same byte size, different element type: must not be recycled into.
+	before := a.ReservedBytes()
+	Alloc[int32](a, 64)
+	if got := a.ReservedBytes(); got == before {
+		t.Fatalf("int32 request served from uint32 free list")
+	}
+}
+
+func TestArenaPeakAndPhases(t *testing.T) {
+	a := NewArena()
+	a.SetPhase("parseVectors")
+	Alloc[byte](a, 1<<10)
+	a.SetPhase("tagSymbols")
+	Alloc[byte](a, 1<<12)
+	if peak := a.PeakBytes(); peak < (1<<10)+(1<<12) {
+		t.Fatalf("peak = %d, want >= %d", peak, (1<<10)+(1<<12))
+	}
+	if pp := a.PhasePeak("tagSymbols"); pp <= a.PhasePeak("parseVectors") {
+		t.Fatalf("phase peaks not monotone: tag %d <= parse %d", pp, a.PhasePeak("parseVectors"))
+	}
+	a.Reset()
+	if a.LiveBytes() != 0 {
+		t.Fatalf("live bytes after reset: %d", a.LiveBytes())
+	}
+	if a.PeakBytes() == 0 {
+		t.Fatalf("peak cleared by reset")
+	}
+}
+
+func TestArenaPointerTypes(t *testing.T) {
+	a := NewArena()
+	v := Alloc[[]uint8](a, 8)
+	for i := range v {
+		v[i] = []uint8{1, 2, 3}
+	}
+	a.Reset()
+	w := Alloc[[]uint8](a, 8)
+	for i, s := range w {
+		if s != nil {
+			t.Fatalf("recycled pointer-typed buffer not zeroed at %d", i)
+		}
+	}
+}
+
+func TestArenaNil(t *testing.T) {
+	var a *Arena
+	b := Alloc[int](a, 16)
+	if len(b) != 16 {
+		t.Fatalf("nil arena alloc len = %d", len(b))
+	}
+	a.Reset()
+	if a.PeakBytes() != 0 || a.LiveBytes() != 0 || a.ReservedBytes() != 0 {
+		t.Fatalf("nil arena stats not zero")
+	}
+	a.SetPhase("x")
+	if a.PhasePeaks() != nil || a.Phases() != nil {
+		t.Fatalf("nil arena phase maps not nil")
+	}
+}
+
+func TestArenaZeroLength(t *testing.T) {
+	a := NewArena()
+	b := Alloc[int64](a, 0)
+	if len(b) != 0 {
+		t.Fatalf("zero-length alloc has len %d", len(b))
+	}
+	a.Reset()
+}

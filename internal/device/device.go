@@ -285,13 +285,19 @@ func (d *Device) runBlocks(blocks, threads int, kernel BlockKernel) {
 // the device analogue of a reduction kernel (used by type inference and
 // column-count inference, §4.3).
 func Reduce[T any](d *Device, phase string, n int, identity T, f func(i int) T, op func(a, b T) T) T {
+	return ReduceArena(d, nil, phase, n, identity, f, op)
+}
+
+// ReduceArena is Reduce with the per-block partial buffer drawn from the
+// device arena.
+func ReduceArena[T any](d *Device, a *Arena, phase string, n int, identity T, f func(i int) T, op func(a, b T) T) T {
 	if n <= 0 {
 		d.noteLaunch(phase)
 		return identity
 	}
 	blockSize := d.cfg.BlockSize
 	blocks := (n + blockSize - 1) / blockSize
-	partial := make([]T, blocks)
+	partial := Alloc[T](a, blocks)
 	d.LaunchBlocks(phase, n, func(b, first, limit int) {
 		acc := identity
 		for i := first; i < limit; i++ {

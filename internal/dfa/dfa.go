@@ -190,13 +190,30 @@ func (m *Machine) Row(g uint32) []State {
 // out[i] = state reached from start state i after reading all of chunk.
 func (m *Machine) ChunkVector(chunk []byte) statevec.Vector {
 	v := statevec.Identity(m.numStates)
+	m.advanceVector(v, chunk)
+	return v
+}
+
+// ChunkVectorInto is ChunkVector writing into the caller-provided vector
+// (which must have length NumStates), so per-chunk kernels can target
+// pre-allocated device memory instead of allocating.
+func (m *Machine) ChunkVectorInto(v statevec.Vector, chunk []byte) {
+	if len(v) != m.numStates {
+		panic(fmt.Sprintf("dfa: vector length %d for %d states", len(v), m.numStates))
+	}
+	for i := range v {
+		v[i] = uint8(i)
+	}
+	m.advanceVector(v, chunk)
+}
+
+func (m *Machine) advanceVector(v statevec.Vector, chunk []byte) {
 	for _, b := range chunk {
 		row := m.Row(m.Group(b))
 		for i := range v {
 			v[i] = row[v[i]]
 		}
 	}
-	return v
 }
 
 // Run simulates a single DFA instance from state s over input and returns

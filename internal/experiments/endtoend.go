@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/device"
 	"repro/internal/pcie"
 	"repro/internal/stream"
 	"repro/internal/workload"
@@ -18,37 +19,42 @@ import (
 // raw partition, modelled parse, device-to-host return of the parsed
 // columnar data. The bus is the PCIe 3.0 x16 model; its durations are
 // computed, never slept.
-func (c Config) modelledStream(input []byte, partSize int, spec workload.Spec) ([]stream.SimPartition, error) {
+func (c Config) modelledStream(input []byte, partSize int, spec workload.Spec) ([]stream.SimPartition, int64, error) {
 	bus := pcie.Default()
-	partitions := (len(input) + partSize - 1) / partSize
-	if partitions == 0 {
-		partitions = 1
-	}
-	parts := make([]stream.SimPartition, 0, partitions)
+	// One arena for every partition, reset in between, exactly like the
+	// real streaming pipeline: the returned peak is the fixed device
+	// footprint the Figure-12 trade-off buys throughput with.
+	arena := device.NewArena()
+	parts := make([]stream.SimPartition, 0, len(input)/partSize+1)
 	var carry []byte
-	for i := 0; i < partitions; i++ {
-		lo := i * partSize
-		hi := min(lo+partSize, len(input))
-		buf := make([]byte, 0, len(carry)+hi-lo)
+	cursor := 0
+	for {
+		fresh := stream.NextFresh(partSize, len(carry), len(input)-cursor)
+		final := cursor+fresh == len(input)
+		arena.Reset()
+		buf := device.Alloc[byte](arena, len(carry)+fresh)[:0]
 		buf = append(buf, carry...)
-		buf = append(buf, input[lo:hi]...)
+		buf = append(buf, input[cursor:cursor+fresh]...)
+		cursor += fresh
 
-		opts := core.Options{Schema: spec.Schema, Trailing: core.TrailingRemainder}
-		if i == partitions-1 {
+		opts := core.Options{Schema: spec.Schema, Trailing: core.TrailingRemainder, Arena: arena}
+		if final {
 			opts.Trailing = core.TrailingRecord
 		}
 		res, err := c.parseModelled(buf, opts)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		carry = append(carry[:0], buf[len(buf)-res.Remainder:]...)
 		parts = append(parts, stream.SimPartition{
-			TransferIn:  bus.TransferDuration(pcie.HostToDevice, int64(hi-lo)),
+			TransferIn:  bus.TransferDuration(pcie.HostToDevice, int64(fresh)),
 			Parse:       phaseTotal(res.Stats.Phases),
 			TransferOut: bus.TransferDuration(pcie.DeviceToHost, res.Table.DataBytes()),
 		})
+		if final {
+			return parts, arena.PeakBytes(), nil
+		}
 	}
-	return parts, nil
 }
 
 // Fig12 reproduces Figure 12: end-to-end duration as a function of the
@@ -62,10 +68,11 @@ func Fig12(cfg Config) error {
 		fractions = []int{64, 8, 2}
 	}
 	fmt.Fprintf(cfg.Out, "\nmodelled end-to-end duration (%d virtual cores, PCIe 3.0 x16 model)\n", cfg.VirtualWorkers)
-	fmt.Fprintf(cfg.Out, "%-12s %16s %16s\n", "partition", "yelp", "NYC taxi")
+	fmt.Fprintf(cfg.Out, "%-12s %16s %16s %14s\n", "partition", "yelp", "NYC taxi", "device mem")
 	type row struct {
 		label string
 		vals  [2]time.Duration
+		mem   int64
 	}
 	rows := make([]row, len(fractions))
 	for d, spec := range cfg.specs() {
@@ -75,16 +82,19 @@ func Fig12(cfg Config) error {
 			if partSize < 1 {
 				partSize = 1
 			}
-			parts, err := cfg.modelledStream(input, partSize, spec)
+			parts, deviceBytes, err := cfg.modelledStream(input, partSize, spec)
 			if err != nil {
 				return err
 			}
 			rows[i].label = mb(partSize)
 			rows[i].vals[d] = stream.Simulate(parts).Total
+			if deviceBytes > rows[i].mem {
+				rows[i].mem = deviceBytes
+			}
 		}
 	}
 	for _, r := range rows {
-		fmt.Fprintf(cfg.Out, "%-12s %14sms %14sms\n", r.label, ms(r.vals[0]), ms(r.vals[1]))
+		fmt.Fprintf(cfg.Out, "%-12s %14sms %14sms %14s\n", r.label, ms(r.vals[0]), ms(r.vals[1]), mb(int(r.mem)))
 	}
 	return nil
 }
@@ -114,7 +124,7 @@ func Fig13(cfg Config) error {
 		var rows []fig13Row
 
 		// ParPaRaw: streaming end-to-end, modelled device + simulated bus.
-		parts, err := cfg.modelledStream(input, len(input)/8, spec)
+		parts, _, err := cfg.modelledStream(input, len(input)/8, spec)
 		if err != nil {
 			return err
 		}

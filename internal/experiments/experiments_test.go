@@ -84,12 +84,15 @@ func TestModelledStreamCoversInput(t *testing.T) {
 	spec := workload.Yelp()
 	input := spec.Generate(cfg.Size, cfg.Seed)
 	partSize := (len(input) + 3) / 4
-	parts, err := cfg.modelledStream(input, partSize, spec)
+	parts, deviceBytes, err := cfg.modelledStream(input, partSize, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(parts) != 4 {
-		t.Fatalf("partitions = %d, want 4", len(parts))
+	if len(parts) < 4 {
+		t.Fatalf("partitions = %d, want >= 4", len(parts))
+	}
+	if deviceBytes <= 0 {
+		t.Errorf("device bytes = %d, want > 0", deviceBytes)
 	}
 	for i, p := range parts {
 		if p.Parse <= 0 || p.TransferIn <= 0 {

@@ -76,6 +76,12 @@ func ExclusiveColumnScan(d *device.Device, phase string, perChunk, dst []ColumnO
 	return scan.Exclusive(d, phase, Op(), perChunk, dst)
 }
 
+// ExclusiveColumnScanArena is ExclusiveColumnScan with arena-backed scan
+// temporaries.
+func ExclusiveColumnScanArena(d *device.Device, a *device.Arena, phase string, perChunk, dst []ColumnOffset) ColumnOffset {
+	return scan.ExclusiveArena(d, a, phase, Op(), perChunk, dst)
+}
+
 // ExclusiveRecordScan computes each chunk's starting record index: an
 // exclusive prefix sum over per-chunk record-delimiter counts (§3.2).
 // Returns the total record-delimiter count.

@@ -33,8 +33,15 @@ const tileSize = 4096
 // in original order. keyBits bounds the significant bits of any key
 // (pass 0 for "derive from the maximum key"). The input is not modified.
 func SortPermutation(d *device.Device, phase string, keys []uint32, keyBits int) []int32 {
+	return SortPermutationArena(d, nil, phase, keys, keyBits)
+}
+
+// SortPermutationArena is SortPermutation with the permutation buffers
+// and per-pass histograms drawn from the device arena. The returned
+// permutation is arena-owned: it is valid until the arena is reset.
+func SortPermutationArena(d *device.Device, a *device.Arena, phase string, keys []uint32, keyBits int) []int32 {
 	n := len(keys)
-	perm := make([]int32, n)
+	perm := device.Alloc[int32](a, n)
 	for i := range perm {
 		perm[i] = int32(i)
 	}
@@ -54,9 +61,9 @@ func SortPermutation(d *device.Device, phase string, keys []uint32, keyBits int)
 		}
 	}
 	cur := perm
-	tmp := make([]int32, n)
+	tmp := device.Alloc[int32](a, n)
 	for shift := 0; shift < keyBits; shift += digitBits {
-		pass(d, phase, keys, cur, tmp, uint(shift))
+		pass(d, a, phase, keys, cur, tmp, uint(shift))
 		cur, tmp = tmp, cur
 	}
 	return cur
@@ -66,14 +73,14 @@ func SortPermutation(d *device.Device, phase string, keys []uint32, keyBits int)
 // that elements are grouped by the digit keys[src[i]]>>shift & 0xFF,
 // preserving relative order within a digit. One tile maps to one device
 // block, the granularity a GPU radix pass works at.
-func pass(d *device.Device, phase string, keys []uint32, src, dst []int32, shift uint) {
+func pass(d *device.Device, a *device.Arena, phase string, keys []uint32, src, dst []int32, shift uint) {
 	n := len(src)
 	tiles := (n + tileSize - 1) / tileSize
 	bs := d.Config().BlockSize
 
 	// (1) Per-tile histogram, written in bucket-major layout
 	// hist[b*tiles+t] so step (2) is a single contiguous prefix sum.
-	hist := make([]int64, tiles*buckets)
+	hist := device.Alloc[int64](a, tiles*buckets)
 	d.LaunchBlocks(phase, tiles*bs, func(t, _, _ int) {
 		lo, hi := tileBounds(t, n)
 		var h [buckets]int64
@@ -89,8 +96,8 @@ func pass(d *device.Device, phase string, keys []uint32, src, dst []int32, shift
 	// bucket b, tile t the starting output offset is
 	//   Σ_{b'<b} total(b')  +  Σ_{t'<t} hist[t'][b],
 	// which is exactly the exclusive scan of hist in this layout.
-	offsets := make([]int64, tiles*buckets)
-	total := scan.Exclusive(d, phase, scan.Sum[int64](), hist, offsets)
+	offsets := device.Alloc[int64](a, tiles*buckets)
+	total := scan.ExclusiveArena(d, a, phase, scan.Sum[int64](), hist, offsets)
 	if total != int64(n) {
 		panic(fmt.Sprintf("radix: histogram mismatch: %d of %d", total, n))
 	}
@@ -128,11 +135,17 @@ func Gather[T any](d *device.Device, phase string, dst, src []T, perm []int32) {
 // the histogram "maintained while sorting" that §3.3 reuses to identify
 // the CSS offsets of the columns.
 func HistogramKeys(d *device.Device, phase string, keys []uint32, numKeys int) []int64 {
+	return HistogramKeysArena(d, nil, phase, keys, numKeys)
+}
+
+// HistogramKeysArena is HistogramKeys with the partial and output
+// histograms drawn from the device arena (the output is arena-owned).
+func HistogramKeysArena(d *device.Device, a *device.Arena, phase string, keys []uint32, numKeys int) []int64 {
 	tiles := (len(keys) + tileSize - 1) / tileSize
 	if tiles == 0 {
-		return make([]int64, numKeys)
+		return device.Alloc[int64](a, numKeys)
 	}
-	partial := make([]int64, tiles*numKeys)
+	partial := device.Alloc[int64](a, tiles*numKeys)
 	bs := d.Config().BlockSize
 	d.LaunchBlocks(phase, tiles*bs, func(t, _, _ int) {
 		lo, hi := tileBounds(t, len(keys))
@@ -141,7 +154,7 @@ func HistogramKeys(d *device.Device, phase string, keys []uint32, numKeys int) [
 			h[keys[i]]++
 		}
 	})
-	out := make([]int64, numKeys)
+	out := device.Alloc[int64](a, numKeys)
 	for t := 0; t < tiles; t++ {
 		for k := 0; k < numKeys; k++ {
 			out[k] += partial[t*numKeys+k]

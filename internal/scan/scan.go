@@ -78,13 +78,24 @@ func Sequential[T any](op Op[T], src, dst []T, inclusive bool) T {
 // Exclusive computes a parallel exclusive scan on the device, returning
 // the total reduction (the inclusive prefix of the last element).
 func Exclusive[T any](d *device.Device, phase string, op Op[T], src, dst []T) T {
-	return SinglePass(d, phase, op, src, dst, false)
+	return singlePass(d, nil, phase, op, src, dst, false)
 }
 
 // Inclusive computes a parallel inclusive scan on the device, returning
 // the total reduction.
 func Inclusive[T any](d *device.Device, phase string, op Op[T], src, dst []T) T {
-	return SinglePass(d, phase, op, src, dst, true)
+	return singlePass(d, nil, phase, op, src, dst, true)
+}
+
+// ExclusiveArena is Exclusive with the scan's internal temporaries (tile
+// descriptors) drawn from the device arena instead of the Go heap.
+func ExclusiveArena[T any](d *device.Device, a *device.Arena, phase string, op Op[T], src, dst []T) T {
+	return singlePass(d, a, phase, op, src, dst, false)
+}
+
+// InclusiveArena is Inclusive with arena-backed temporaries.
+func InclusiveArena[T any](d *device.Device, a *device.Arena, phase string, op Op[T], src, dst []T) T {
+	return singlePass(d, a, phase, op, src, dst, true)
 }
 
 // tileSize is the number of elements each scan block processes. It is
@@ -97,6 +108,10 @@ const tileSize = 2048
 // sequentially (they are few), (3) every tile re-reads its input and
 // writes prefixed outputs. dst may alias src. Returns the total.
 func Blocked[T any](d *device.Device, phase string, op Op[T], src, dst []T, inclusive bool) T {
+	return blocked(d, nil, phase, op, src, dst, inclusive)
+}
+
+func blocked[T any](d *device.Device, a *device.Arena, phase string, op Op[T], src, dst []T, inclusive bool) T {
 	n := len(src)
 	if len(dst) < n {
 		panic("scan: dst shorter than src")
@@ -114,7 +129,7 @@ func Blocked[T any](d *device.Device, phase string, op Op[T], src, dst []T, incl
 	// cooperatively processes one tile: this is the granularity the
 	// modelled-time scheduler attributes costs at.
 	bs := d.Config().BlockSize
-	aggregates := make([]T, tiles)
+	aggregates := device.Alloc[T](a, tiles)
 	d.LaunchBlocks(phase, tiles*bs, func(t, _, _ int) {
 		lo, hi := tileBounds(t, n)
 		acc := op.Identity
@@ -123,7 +138,7 @@ func Blocked[T any](d *device.Device, phase string, op Op[T], src, dst []T, incl
 		}
 		aggregates[t] = acc
 	})
-	prefixes := make([]T, tiles)
+	prefixes := device.Alloc[T](a, tiles)
 	total := Sequential(op, aggregates, prefixes, false)
 	d.LaunchBlocks(phase, tiles*bs, func(t, _, _ int) {
 		lo, hi := tileBounds(t, n)
@@ -204,6 +219,10 @@ func (td *tileDescriptor[T]) read() (int32, T) {
 // without burning cycles. Tiles are launched in index order so look-back
 // distance stays short, as on the GPU.
 func SinglePass[T any](d *device.Device, phase string, op Op[T], src, dst []T, inclusive bool) T {
+	return singlePass(d, nil, phase, op, src, dst, inclusive)
+}
+
+func singlePass[T any](d *device.Device, a *device.Arena, phase string, op Op[T], src, dst []T, inclusive bool) T {
 	n := len(src)
 	if len(dst) < n {
 		panic("scan: dst shorter than src")
@@ -217,7 +236,7 @@ func SinglePass[T any](d *device.Device, phase string, op Op[T], src, dst []T, i
 		defer stop()
 		return Sequential(op, src, dst, inclusive)
 	}
-	descs := make([]tileDescriptor[T], tiles)
+	descs := device.Alloc[tileDescriptor[T]](a, tiles)
 	var total T
 	// One tile per device block (see Blocked). Serial execution visits
 	// blocks in index order, so the look-back below always finds its

@@ -13,6 +13,7 @@ package statevec
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/device"
 	"repro/internal/scan"
@@ -121,6 +122,55 @@ func Op(states int) scan.Op[Vector] {
 // the entire input).
 func ExclusiveScan(d *device.Device, phase string, states int, vectors []Vector, dst []Vector) Vector {
 	return scan.Exclusive(d, phase, Op(states), vectors, dst)
+}
+
+// ExclusiveScanArena is ExclusiveScan with every intermediate vector the
+// scan composes carved out of arena-backed slabs instead of individually
+// allocated — the combine count is linear in the chunk count, so this is
+// one of the pipeline's hottest allocation sites.
+func ExclusiveScanArena(d *device.Device, a *device.Arena, phase string, states int, vectors []Vector, dst []Vector) Vector {
+	if a == nil {
+		return ExclusiveScan(d, phase, states, vectors, dst)
+	}
+	return scan.ExclusiveArena(d, a, phase, pooledOp(a, states), vectors, dst)
+}
+
+// slabVectors is the number of combine results carved from one arena
+// slab by pooledOp.
+const slabVectors = 4096
+
+// pooledOp returns the composite operator with combine results bump-
+// allocated from arena slabs. Results are stable until the arena is
+// reset, matching the retention contract scan tiles rely on.
+func pooledOp(a *device.Arena, states int) scan.Op[Vector] {
+	var mu sync.Mutex
+	var slab []uint8
+	return scan.Op[Vector]{
+		Identity: Identity(states),
+		Combine: func(x, y Vector) Vector {
+			mu.Lock()
+			if len(slab) < states {
+				slab = device.Alloc[uint8](a, slabVectors*states)
+			}
+			v := Vector(slab[:states:states])
+			slab = slab[states:]
+			mu.Unlock()
+			Compose(v, x, y)
+			return v
+		},
+	}
+}
+
+// AllocVectors returns count vectors of the given state count backed by
+// one flat arena buffer — the device-memory layout of the multi-DFA
+// parse kernel's output (one vector per chunk, §3.1).
+func AllocVectors(a *device.Arena, count, states int) []Vector {
+	vectors := device.Alloc[Vector](a, count)
+	flat := device.Alloc[uint8](a, count*states)
+	for i := range vectors {
+		vectors[i] = Vector(flat[i*states : (i+1)*states : (i+1)*states])
+	}
+	return vectors
 }
 
 // Packed is a Vector stored in a multi-fragment in-register array

@@ -18,8 +18,28 @@ import (
 	"time"
 
 	"repro/internal/columnar"
+	"repro/internal/device"
 	"repro/internal/pcie"
 )
+
+// NextFresh returns the number of fresh input bytes the next partition
+// consumes: the carry-over displaces fresh input so carry + fresh
+// fills one fixed PartitionSize device buffer, a carry of a full
+// partition or more (one record larger than a partition) still makes
+// PartitionSize bytes of progress, and the final partition takes
+// whatever remains. Shared with the modelled stream of
+// internal/experiments so the Figure-12/13 numbers use the real
+// pipeline's partition boundaries.
+func NextFresh(partitionSize, carryLen, remaining int) int {
+	fresh := partitionSize - carryLen
+	if fresh <= 0 {
+		fresh = partitionSize
+	}
+	if fresh > remaining {
+		fresh = remaining
+	}
+	return fresh
+}
 
 // PartitionResult is what parsing one partition yields.
 type PartitionResult struct {
@@ -57,6 +77,12 @@ type Config struct {
 	PartitionSize int
 	// Bus is the simulated interconnect; nil uses pcie.Default().
 	Bus *pcie.Bus
+	// Arena, when non-nil, is the device memory shared by every
+	// partition: the pipeline resets it before assembling each
+	// partition's input, so partition i+1 re-parses inside partition i's
+	// allocations — the paper's fixed device footprint (§4.4). The same
+	// arena must be given to the Parser's per-partition parse options.
+	Arena *device.Arena
 }
 
 // Stats summarises one streaming run.
@@ -73,6 +99,9 @@ type Stats struct {
 	ParseBusy time.Duration
 	// MaxCarryOver is the largest carry-over observed (bytes).
 	MaxCarryOver int
+	// DeviceBytes is the peak arena footprint across all partitions
+	// (zero when the run had no arena).
+	DeviceBytes int64
 }
 
 // Result is the outcome of a streaming run: one table per partition (in
@@ -84,6 +113,15 @@ type Result struct {
 
 // Run streams input through the pipeline. It returns the per-partition
 // tables in input order.
+//
+// Each partition's parse input is a fixed-size device buffer of
+// PartitionSize bytes holding the carry-over followed by fresh input
+// (the "copy c/o" step of Figure 7): the fresh transfer is sized so the
+// total stays at PartitionSize. Fixed-size parse inputs keep every
+// device buffer in the same arena size class across partitions — the
+// paper's allocate-once-reuse-per-partition footprint. Only a
+// carry-over of PartitionSize or more (one record larger than a
+// partition) grows the buffer beyond PartitionSize.
 func Run(cfg Config, parser Parser, input []byte) (*Result, error) {
 	if cfg.PartitionSize <= 0 {
 		return nil, errors.New("stream: partition size must be positive")
@@ -92,10 +130,7 @@ func Run(cfg Config, parser Parser, input []byte) (*Result, error) {
 	if bus == nil {
 		bus = pcie.Default()
 	}
-	partitions := (len(input) + cfg.PartitionSize - 1) / cfg.PartitionSize
-	if partitions == 0 {
-		partitions = 1
-	}
+	transfers := (len(input) + cfg.PartitionSize - 1) / cfg.PartitionSize
 
 	start := time.Now()
 
@@ -106,94 +141,116 @@ func Run(cfg Config, parser Parser, input []byte) (*Result, error) {
 		err   error
 	}
 
-	// Double-buffer tokens: transfer of partition i+2 waits for parse of
-	// partition i (input buffers), and parse of partition i+2 waits for
-	// return of partition i (data buffers).
-	inputTokens := make(chan struct{}, 2)
+	// Double-buffer tokens: the transfer two buffers ahead waits until a
+	// buffer's worth of input has been consumed by parsing (input
+	// buffers), and the parse two partitions ahead waits for the return
+	// of partition i (data buffers).
+	inputTokens := make(chan struct{}, 2+transfers)
 	dataTokens := make(chan struct{}, 2)
 	inputTokens <- struct{}{}
 	inputTokens <- struct{}{}
 	dataTokens <- struct{}{}
 	dataTokens <- struct{}{}
 
-	transferred := make(chan int, 1) // partition indices whose input arrived
+	arrivals := make(chan int, 8)    // cumulative input bytes arrived on-device
 	toReturn := make(chan parsed, 1) // parsed partitions awaiting DtoH
 	done := make(chan error, 1)
 	quit := make(chan struct{}) // closed on parse error so stage 1 exits
 
-	// Stage 1: transfer raw partitions host→device.
+	// Stage 1: transfer raw input host→device in PartitionSize chunks.
 	go func() {
-		defer close(transferred)
-		for i := 0; i < partitions; i++ {
+		defer close(arrivals)
+		sent := 0
+		for sent < len(input) {
 			select {
 			case <-inputTokens:
 			case <-quit:
 				return
 			}
-			lo := i * cfg.PartitionSize
-			hi := lo + cfg.PartitionSize
-			if hi > len(input) {
-				hi = len(input)
+			step := cfg.PartitionSize
+			if sent+step > len(input) {
+				step = len(input) - sent
 			}
-			bus.Transfer(pcie.HostToDevice, int64(hi-lo))
+			bus.Transfer(pcie.HostToDevice, int64(step))
+			sent += step
 			select {
-			case transferred <- i:
+			case arrivals <- sent:
 			case <-quit:
 				return
 			}
 		}
 	}()
 
-	stats := Stats{Partitions: partitions, InputBytes: int64(len(input))}
-	tables := make([]*columnar.Table, 0, partitions)
+	stats := Stats{InputBytes: int64(len(input))}
+	tables := make([]*columnar.Table, 0, transfers+1)
 
 	// Stage 2: parse (serial across partitions — the device is one
 	// resource — but internally parallel).
 	go func() {
+		fail := func(idx int, err error) {
+			close(quit)
+			toReturn <- parsed{idx: idx, err: err}
+			close(toReturn)
+		}
 		var carry []byte
-		for i := range transferred {
-			lo := i * cfg.PartitionSize
-			hi := lo + cfg.PartitionSize
-			if hi > len(input) {
-				hi = len(input)
+		cursor := 0  // fresh input bytes consumed so far
+		arrived := 0 // fresh input bytes transferred so far
+		credit := 0  // consumed bytes not yet returned as input tokens
+		for i := 0; ; i++ {
+			fresh := NextFresh(cfg.PartitionSize, len(carry), len(input)-cursor)
+			final := cursor+fresh == len(input)
+			for arrived < cursor+fresh {
+				v, ok := <-arrivals
+				if !ok {
+					break // stage 1 done: everything has arrived
+				}
+				arrived = v
 			}
-			// Assemble carry-over + partition (the "copy c/o" step).
-			buf := make([]byte, 0, len(carry)+hi-lo)
-			buf = append(buf, carry...)
-			buf = append(buf, input[lo:hi]...)
 
-			final := i == partitions-1
+			// Recycle the previous partition's device buffers: nothing
+			// transient outlives a partition parse (tables and the carry
+			// copy live on the host heap), so from here on this partition
+			// reuses its predecessor's allocations.
+			cfg.Arena.Reset()
+			// Assemble carry-over + fresh input (the "copy c/o" step) in
+			// the partition's device input buffer.
+			buf := device.Alloc[byte](cfg.Arena, len(carry)+fresh)[:0]
+			buf = append(buf, carry...)
+			buf = append(buf, input[cursor:cursor+fresh]...)
+			cursor += fresh
+
 			<-dataTokens
 			parseStart := time.Now()
 			res, err := parser.ParsePartition(buf, final)
 			stats.ParseBusy += time.Since(parseStart)
+			stats.Partitions++
 			if err != nil {
-				close(quit)
-				toReturn <- parsed{idx: i, err: fmt.Errorf("stream: partition %d: %w", i, err)}
-				close(toReturn)
+				fail(i, fmt.Errorf("stream: partition %d: %w", i, err))
 				return
 			}
-			if final {
-				carry = nil
-			} else {
+			if !final {
 				if res.CompleteBytes < 0 || res.CompleteBytes > len(buf) {
-					close(quit)
-					toReturn <- parsed{idx: i, err: fmt.Errorf("stream: partition %d: complete bytes %d outside [0,%d]", i, res.CompleteBytes, len(buf))}
-					close(toReturn)
+					fail(i, fmt.Errorf("stream: partition %d: complete bytes %d outside [0,%d]", i, res.CompleteBytes, len(buf)))
 					return
 				}
-				carry = append([]byte(nil), buf[res.CompleteBytes:]...)
+				carry = append(carry[:0], buf[res.CompleteBytes:]...)
 				if len(carry) > stats.MaxCarryOver {
 					stats.MaxCarryOver = len(carry)
 				}
 			}
-			// Input buffer free once the carry-over is copied out.
-			inputTokens <- struct{}{}
+			// The consumed fresh bytes free device input capacity once
+			// the carry-over is copied out.
+			for credit += fresh; credit >= cfg.PartitionSize; credit -= cfg.PartitionSize {
+				inputTokens <- struct{}{}
+			}
 			outBytes := res.OutputBytes
 			if outBytes <= 0 && res.Table != nil {
 				outBytes = res.Table.DataBytes()
 			}
 			toReturn <- parsed{idx: i, table: res.Table, bytes: outBytes}
+			if final {
+				break
+			}
 		}
 		close(toReturn)
 	}()
@@ -219,5 +276,6 @@ func Run(cfg Config, parser Parser, input []byte) (*Result, error) {
 		return nil, err
 	}
 	stats.Duration = time.Since(start)
+	stats.DeviceBytes = cfg.Arena.PeakBytes()
 	return &Result{Tables: tables, Stats: stats}, nil
 }

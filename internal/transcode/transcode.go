@@ -43,6 +43,13 @@ func DetectEncoding(input []byte) (utfx.Encoding, int) {
 // device. Unpaired surrogates and an odd trailing byte become U+FFFD.
 // The phase name attributes the kernel time (use "transcode").
 func UTF16ToUTF8(d *device.Device, phase string, input []byte, bigEndian bool) []byte {
+	return UTF16ToUTF8Arena(d, nil, phase, input, bigEndian)
+}
+
+// UTF16ToUTF8Arena is UTF16ToUTF8 with the output and kernel
+// temporaries drawn from the device arena (the returned buffer is
+// arena-owned: valid until the arena is reset).
+func UTF16ToUTF8Arena(d *device.Device, a *device.Arena, phase string, input []byte, bigEndian bool) []byte {
 	if len(input) == 0 {
 		return nil
 	}
@@ -59,7 +66,7 @@ func UTF16ToUTF8(d *device.Device, phase string, input []byte, bigEndian bool) [
 
 	// Each chunk's true start: skip a leading low surrogate (it belongs
 	// to the previous chunk's symbol). Computed context-free per chunk.
-	starts := make([]int, chunks+1)
+	starts := device.Alloc[int](a, chunks+1)
 	d.Launch(phase, chunks, func(c int) {
 		if c == 0 {
 			// No previous chunk: a leading low surrogate is simply an
@@ -74,7 +81,7 @@ func UTF16ToUTF8(d *device.Device, phase string, input []byte, bigEndian bool) [
 	starts[chunks] = units * 2
 
 	// Pass 1: per-chunk UTF-8 output size.
-	counts := make([]int64, chunks)
+	counts := device.Alloc[int64](a, chunks)
 	d.Launch(phase, chunks, func(c int) {
 		counts[c] = int64(transcodeChunk(input, starts[c], starts[c+1], bigEndian, nil))
 	})
@@ -83,11 +90,11 @@ func UTF16ToUTF8(d *device.Device, phase string, input []byte, bigEndian bool) [
 	}
 
 	// Prefix scan gives every chunk's output offset.
-	offsets := make([]int64, chunks)
-	total := scan.Exclusive(d, phase, scan.Sum[int64](), counts, offsets)
+	offsets := device.Alloc[int64](a, chunks)
+	total := scan.ExclusiveArena(d, a, phase, scan.Sum[int64](), counts, offsets)
 
 	// Pass 2: emit.
-	out := make([]byte, total)
+	out := device.Alloc[byte](a, int(total))
 	d.Launch(phase, chunks, func(c int) {
 		transcodeChunk(input, starts[c], starts[c+1], bigEndian, out[offsets[c]:])
 	})
@@ -95,6 +102,38 @@ func UTF16ToUTF8(d *device.Device, phase string, input []byte, bigEndian bool) [
 		encodeRune(out[total-3:], replacementChar)
 	}
 	return out
+}
+
+// RawUTF16Bytes returns the number of raw UTF-16 bytes that transcoded
+// into the given UTF-8 prefix: 4-byte UTF-8 sequences came from a
+// surrogate pair (4 raw bytes), every other code point from a single
+// code unit (2 raw bytes) — including U+FFFD replacements for unpaired
+// surrogates. The prefix must end on a code-point boundary and must not
+// include the replacement emitted for an odd trailing byte. It is the
+// inverse mapping the streaming pipeline needs to carry a partition's
+// incomplete tail over in raw input bytes (§4.4 meets §4.2). The count
+// is per-byte data-parallel: continuation bytes contribute nothing,
+// 0xF0+ lead bytes contribute 4, other lead bytes 2.
+func RawUTF16Bytes(d *device.Device, a *device.Arena, phase string, utf8Prefix []byte) int {
+	const tile = 64 << 10
+	tiles := (len(utf8Prefix) + tile - 1) / tile
+	return int(device.ReduceArena(d, a, phase, tiles, 0, func(t int) int64 {
+		lo, hi := t*tile, (t+1)*tile
+		if hi > len(utf8Prefix) {
+			hi = len(utf8Prefix)
+		}
+		var raw int64
+		for _, b := range utf8Prefix[lo:hi] {
+			switch {
+			case b&0xC0 == 0x80: // continuation byte
+			case b >= 0xF0:
+				raw += 4
+			default:
+				raw += 2
+			}
+		}
+		return raw
+	}, func(x, y int64) int64 { return x + y }))
 }
 
 // transcodeChunk decodes code units in input[lo:hi) — reading past hi

@@ -145,6 +145,34 @@ const (
 	UTF16BE
 )
 
+// internal maps the public encoding to the pipeline's representation.
+func (e Encoding) internal() utfx.Encoding {
+	switch e {
+	case UTF8:
+		return utfx.UTF8
+	case UTF16LE:
+		return utfx.UTF16LE
+	case UTF16BE:
+		return utfx.UTF16BE
+	default:
+		return utfx.ASCII
+	}
+}
+
+// encodingFromInternal is the inverse of Encoding.internal.
+func encodingFromInternal(e utfx.Encoding) Encoding {
+	switch e {
+	case utfx.UTF8:
+		return UTF8
+	case utfx.UTF16LE:
+		return UTF16LE
+	case utfx.UTF16BE:
+		return UTF16BE
+	default:
+		return ASCII
+	}
+}
+
 // Stats describes a completed parse.
 type Stats struct {
 	// InputBytes is the byte count parsed (after row skipping and header
@@ -171,6 +199,10 @@ type Stats struct {
 	DeviceTime time.Duration
 	// Duration is the wall-clock time of the parse.
 	Duration time.Duration
+	// DeviceBytes is the peak device-memory footprint of the parse: the
+	// high-water mark of the arena all pipeline kernels draw their
+	// buffers from.
+	DeviceBytes int64
 }
 
 // Throughput returns the parse rate in bytes per second.
@@ -227,6 +259,7 @@ func wrapResult(res *core.Result) *Result {
 			Phases:       res.Stats.Phases,
 			DeviceTime:   deviceTime,
 			Duration:     res.Stats.Duration,
+			DeviceBytes:  res.Stats.DeviceBytes,
 		},
 	}
 }
@@ -247,14 +280,7 @@ func (o Options) internal(trailing core.TrailingMode) core.Options {
 		Trailing:           trailing,
 		DetectEncoding:     o.DetectEncoding,
 	}
-	switch o.Encoding {
-	case UTF8:
-		copts.Encoding = utfx.UTF8
-	case UTF16LE:
-		copts.Encoding = utfx.UTF16LE
-	case UTF16BE:
-		copts.Encoding = utfx.UTF16BE
-	}
+	copts.Encoding = o.Encoding.internal()
 	if o.Format != nil {
 		copts.Machine = o.Format.m
 	}

@@ -7,8 +7,10 @@ import (
 
 	"repro/internal/columnar"
 	"repro/internal/core"
+	"repro/internal/device"
 	"repro/internal/pcie"
 	"repro/internal/stream"
+	"repro/internal/transcode"
 )
 
 // DefaultPartitionSize is the streaming partition size used when
@@ -75,6 +77,12 @@ type StreamStats struct {
 	// MaxCarryOver is the largest record fragment carried between
 	// partitions (bytes).
 	MaxCarryOver int
+	// DeviceBytes is the peak device-memory footprint across all
+	// partitions. All partitions share one recycled arena (§4.4), so in
+	// steady state this is roughly the footprint of the largest single
+	// partition, not the sum — the Figure-12 memory/throughput
+	// trade-off's memory axis.
+	DeviceBytes int64
 }
 
 // StreamResult is a completed streaming parse.
@@ -124,10 +132,24 @@ func Stream(input []byte, opts StreamOptions) (*StreamResult, error) {
 	if bus == nil {
 		bus = NewBus(BusConfig{})
 	}
+	if opts.DetectEncoding {
+		// Detect once on the whole input's head and freeze the result:
+		// only the first partition carries the byte-order mark, so
+		// per-partition detection would mis-read every later partition
+		// as ASCII.
+		enc, skip := transcode.DetectEncoding(input)
+		input = input[skip:]
+		opts.DetectEncoding = false
+		opts.Encoding = encodingFromInternal(enc)
+	}
 
 	out := &StreamResult{}
 	first := true
 	fixedSchema := opts.Schema.internal()
+	// One arena for the whole run: stream.Run resets it between
+	// partitions, so consecutive partitions parse inside the same device
+	// allocations instead of growing the heap per partition.
+	arena := device.NewArena()
 	parser := stream.ParserFunc(func(part []byte, final bool) (stream.PartitionResult, error) {
 		trailing := core.TrailingRemainder
 		if final {
@@ -135,6 +157,7 @@ func Stream(input []byte, opts StreamOptions) (*StreamResult, error) {
 		}
 		copts := opts.Options.internal(trailing)
 		copts.Schema = fixedSchema
+		copts.Arena = arena
 		copts.HasHeader = opts.HasHeader && first
 		copts.SkipRows = 0
 		if first {
@@ -158,7 +181,7 @@ func Stream(input []byte, opts StreamOptions) (*StreamResult, error) {
 		}, nil
 	})
 
-	res, err := stream.Run(stream.Config{PartitionSize: opts.PartitionSize, Bus: bus.b}, parser, input)
+	res, err := stream.Run(stream.Config{PartitionSize: opts.PartitionSize, Bus: bus.b, Arena: arena}, parser, input)
 	if err != nil {
 		return nil, err
 	}
@@ -173,6 +196,7 @@ func Stream(input []byte, opts StreamOptions) (*StreamResult, error) {
 		OutputBytes:  res.Stats.OutputBytes,
 		ParseBusy:    res.Stats.ParseBusy,
 		MaxCarryOver: res.Stats.MaxCarryOver,
+		DeviceBytes:  res.Stats.DeviceBytes,
 	}
 	return out, nil
 }
