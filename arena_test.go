@@ -193,7 +193,7 @@ func TestStreamSteadyStateNoLargeAllocs(t *testing.T) {
 		}
 		return stream.PartitionResult{Table: res.Table, CompleteBytes: len(part) - res.Remainder}, nil
 	})
-	res, err := stream.Run(stream.Config{PartitionSize: 1 << 20, Arena: arena}, parser, input)
+	res, err := stream.Run(stream.Config{PartitionSize: 1 << 20, Arena: arena}, parser, stream.BytesSource(input))
 	if err != nil {
 		t.Fatal(err)
 	}

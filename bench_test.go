@@ -66,6 +66,81 @@ func BenchmarkParse(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineParse is the serving-layer benchmark: one Engine
+// compiled once, Parse called repeatedly — the DFA, validated options,
+// and device are amortised across calls and the arena is recycled
+// through the engine's pool, so allocs/op here is what a steady-state
+// service pays per request. It must track BenchmarkParse's reused-arena
+// allocs/op (~400), not the cold-start figure.
+func BenchmarkEngineParse(b *testing.B) {
+	for _, spec := range benchSpecs {
+		b.Run(spec.Name, func(b *testing.B) {
+			input := spec.Generate(benchSize, 42)
+			e, err := NewEngine(Options{Schema: schemaFromInternal(spec.Schema)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(input)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			var deviceBytes int64
+			for i := 0; i < b.N; i++ {
+				res, err := e.Parse(input)
+				if err != nil {
+					b.Fatal(err)
+				}
+				deviceBytes = res.Stats.DeviceBytes
+			}
+			b.ReportMetric(float64(deviceBytes), "device-bytes")
+		})
+	}
+}
+
+// BenchmarkEngineColdStart compiles a fresh Engine for every parse —
+// the per-call setup (DFA strategy application, option validation,
+// device resolution, pristine arena) that BenchmarkEngineParse
+// amortises away. The allocs/op delta against BenchmarkEngineParse is
+// the compile-once dividend.
+func BenchmarkEngineColdStart(b *testing.B) {
+	spec := benchSpecs[0]
+	input := spec.Generate(benchSize, 42)
+	b.SetBytes(int64(len(input)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := NewEngine(Options{Schema: schemaFromInternal(spec.Schema)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Parse(input); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineParseParallel drives one Engine from GOMAXPROCS
+// goroutines — the concurrent-callers serving scenario. Each caller
+// checks a private arena out of the pool, so throughput should scale
+// until the simulated device's workers saturate.
+func BenchmarkEngineParseParallel(b *testing.B) {
+	spec := benchSpecs[0]
+	input := spec.Generate(benchSize, 42)
+	e, err := NewEngine(Options{Schema: schemaFromInternal(spec.Schema)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(input)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := e.Parse(input); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkStreamSteadyState measures the streaming path with its
 // shared, per-partition-recycled arena: allocs/op here is what a
 // sustained ingest pipeline pays per 1 MiB of input.

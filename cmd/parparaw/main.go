@@ -6,9 +6,13 @@
 // Usage:
 //
 //	parparaw [-header] [-delim ,] [-comment '#'] [-mode tagged|inline|delimited]
-//	         [-stream] [-partition 32MB] [-head 10] [-validate] file.csv
+//	         [-stream] [-partition-size 32MB] [-head 10] [-validate] file.csv
 //
-// With no file argument, standard input is read.
+// With no file argument, standard input is read. Input is always
+// consumed through the Reader path — files are never loaded whole: in
+// -stream mode they flow through StreamReader partition by partition,
+// and otherwise through ParseReader, which itself streams inputs above
+// its size threshold.
 package main
 
 import (
@@ -30,7 +34,8 @@ func main() {
 	crlf := flag.Bool("crlf", false, "accept CRLF record delimiters")
 	mode := flag.String("mode", "tagged", "tagging mode: tagged, inline, or delimited")
 	streamFlag := flag.Bool("stream", false, "use the end-to-end streaming pipeline")
-	partition := flag.String("partition", "32MB", "streaming partition size")
+	partition := flag.String("partition-size", "32MB", "streaming partition size")
+	flag.StringVar(partition, "partition", *partition, "alias for -partition-size")
 	head := flag.Int("head", 0, "print the first N rows")
 	validate := flag.Bool("validate", false, "fail on format violations")
 	chunk := flag.Int("chunk", 0, "chunk size in bytes (default 31)")
@@ -43,15 +48,16 @@ func main() {
 }
 
 func run(header bool, delim, comment string, crlf bool, modeName string, streaming bool, partition string, head int, validate bool, chunk int, path string) error {
-	var input []byte
-	var err error
+	var input io.Reader
 	if path == "" || path == "-" {
-		input, err = io.ReadAll(os.Stdin)
+		input = os.Stdin
 	} else {
-		input, err = os.ReadFile(path)
-	}
-	if err != nil {
-		return err
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		input = f
 	}
 
 	var mode parparaw.TaggingMode
@@ -94,7 +100,7 @@ func run(header bool, delim, comment string, crlf bool, modeName string, streami
 		if err != nil {
 			return err
 		}
-		res, err := parparaw.Stream(input, parparaw.StreamOptions{Options: opts, PartitionSize: partBytes})
+		res, err := parparaw.StreamReader(input, parparaw.StreamOptions{Options: opts, PartitionSize: partBytes})
 		if err != nil {
 			return err
 		}
@@ -105,7 +111,7 @@ func run(header bool, delim, comment string, crlf bool, modeName string, streami
 		stats = fmt.Sprintf("streamed %d partitions, max carry-over %d B, bus in/out %d/%d B, device mem %d B",
 			res.Stats.Partitions, res.Stats.MaxCarryOver, res.Stats.InputBytes, res.Stats.OutputBytes, res.Stats.DeviceBytes)
 	} else {
-		res, err := parparaw.Parse(input, opts)
+		res, err := parparaw.ParseReader(input, opts)
 		if err != nil {
 			return err
 		}

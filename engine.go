@@ -1,0 +1,259 @@
+package parparaw
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/stream"
+	"repro/internal/transcode"
+)
+
+// Engine is a reusable parsing service: one configuration compiled once
+// — DFA transition tables, match strategy, device, validated options —
+// and served to any number of Parse/Stream calls, including concurrent
+// ones. It is the serving-layer counterpart of the one-shot Parse
+// function: where Parse redoes the per-configuration setup on every
+// call, an Engine amortises it, and recycles device arenas through an
+// internal pool so steady-state calls allocate almost nothing.
+//
+// An Engine is safe for concurrent use by multiple goroutines. Each
+// call checks a private arena out of the pool for the duration of the
+// run; the simulated device itself is documented safe for concurrent
+// kernel launches. Stats.Phases of overlapping calls share the device's
+// timers, so per-phase durations under concurrency describe the device,
+// not one call.
+type Engine struct {
+	plan   *core.Plan
+	arenas sync.Pool // of *device.Arena
+}
+
+// NewEngine compiles opts into a reusable Engine. Configuration errors
+// (duplicate column selections, unsorted skip lists, …) are reported
+// here, before any input is accepted.
+func NewEngine(opts Options) (*Engine, error) {
+	plan, err := core.Compile(opts.internal(core.TrailingRecord))
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{plan: plan}
+	e.arenas.New = func() any { return device.NewArena() }
+	return e, nil
+}
+
+// checkout takes an arena from the pool for one run. release resets it
+// (returning every device buffer the run drew to the arena's free
+// lists) and puts it back, so the next run on this arena is served from
+// recycled memory.
+func (e *Engine) checkout() *device.Arena { return e.arenas.Get().(*device.Arena) }
+
+func (e *Engine) release(a *device.Arena) {
+	a.Reset()
+	e.arenas.Put(a)
+}
+
+// Parse parses one input with the engine's compiled plan. Results are
+// identical to the package-level Parse with the engine's options; only
+// the per-call setup cost differs.
+func (e *Engine) Parse(input []byte) (*Result, error) {
+	arena := e.checkout()
+	defer e.release(arena)
+	res, err := e.plan.Execute(input, e.plan.BaseExec(arena))
+	if err != nil {
+		return nil, err
+	}
+	return wrapResult(res), nil
+}
+
+// ParseReader parses everything r yields. Inputs that stay under
+// ReaderStreamThreshold are buffered and parsed in one shot; larger
+// inputs are routed through the streaming pipeline so peak host
+// buffering stays bounded (see the package-level ParseReader for the
+// contract).
+func (e *Engine) ParseReader(r io.Reader) (*Result, error) {
+	threshold := ReaderStreamThreshold
+	head, err := io.ReadAll(io.LimitReader(r, int64(threshold)+1))
+	if err != nil {
+		return nil, fmt.Errorf("parparaw: reading input: %w", err)
+	}
+	if len(head) <= threshold {
+		return e.Parse(head)
+	}
+	sres, err := e.StreamReader(io.MultiReader(bytes.NewReader(head), r), StreamConfig{
+		Bus: NewBus(instantBus),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return streamedResult(sres)
+}
+
+// StreamConfig holds the per-run knobs of an Engine streaming call: the
+// partition size (Figure 12's x-axis) and the simulated interconnect.
+// Zero values select DefaultPartitionSize and a PCIe 3.0 x16 model.
+type StreamConfig struct {
+	PartitionSize int
+	Bus           *Bus
+}
+
+// Stream parses an in-memory input through the end-to-end streaming
+// pipeline of §4.4. It is StreamReader over the input's bytes; the
+// pipeline consumes them chunk by chunk exactly as it would a file.
+func (e *Engine) Stream(input []byte, cfg StreamConfig) (*StreamResult, error) {
+	return e.StreamReader(bytes.NewReader(input), cfg)
+}
+
+// StreamReader parses everything r yields through the end-to-end
+// streaming pipeline of §4.4: fixed-size partitions are pulled from the
+// reader, transferred to the (simulated) device, parsed, and their
+// columnar data returned — with the three stages of consecutive
+// partitions overlapped to exploit the bus's full-duplex capability.
+// Records straddling partition boundaries are carried over intact.
+//
+// The full input is never materialised: peak host buffering is bounded
+// by O(PartitionSize + largest carry-over), independent of the input's
+// total size, so readers backed by files or sockets larger than memory
+// stream through fine. Byte-order-mark detection (DetectEncoding)
+// happens once, at the first-chunk boundary, and the detected encoding
+// is frozen for the whole run; the header record and skipped rows are
+// consumed from the first partition only.
+func (e *Engine) StreamReader(r io.Reader, cfg StreamConfig) (*StreamResult, error) {
+	partSize := cfg.PartitionSize
+	if partSize <= 0 {
+		partSize = DefaultPartitionSize
+	}
+	bus := cfg.Bus
+	if bus == nil {
+		bus = NewBus(BusConfig{})
+	}
+
+	base := e.plan.BaseExec(nil)
+	if base.DetectEncoding {
+		// Only the first bytes of the stream can carry a byte-order
+		// mark; detect it here, strip it, and freeze the encoding —
+		// per-partition detection would mis-read every later partition
+		// as ASCII.
+		var head [3]byte
+		n, err := io.ReadFull(r, head[:])
+		if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("parparaw: reading input: %w", err)
+		}
+		enc, skip := transcode.DetectEncoding(head[:n])
+		base.Encoding = enc
+		base.DetectEncoding = false
+		r = io.MultiReader(bytes.NewReader(head[skip:n]), r)
+	}
+
+	// One arena for the whole run: stream.Run resets it between
+	// partitions, so consecutive partitions parse inside the same device
+	// allocations instead of growing the heap per partition.
+	arena := e.checkout()
+	defer e.release(arena)
+
+	out := &StreamResult{}
+	first := true
+	invalid := false
+	trimming := base.HasHeader || base.SkipRows > 0
+	fixedSchema := base.Schema
+	parser := stream.ParserFunc(func(part []byte, final bool) (stream.PartitionResult, error) {
+		exec := base
+		exec.Arena = arena
+		exec.Trailing = core.TrailingRemainder
+		if final {
+			exec.Trailing = core.TrailingRecord
+		}
+		exec.Schema = fixedSchema
+		exec.HasHeader = base.HasHeader && first
+		exec.SkipRows = 0
+		if first {
+			exec.SkipRows = base.SkipRows
+		}
+		res, err := e.plan.Execute(part, exec)
+		if err != nil {
+			return stream.PartitionResult{}, err
+		}
+		invalid = invalid || res.Stats.InvalidInput
+		if first {
+			if !final && res.Table.NumRows() == 0 {
+				if trimming {
+					// The partition is too small to hold the skipped
+					// rows, the header, and one complete record — a
+					// partial header would be consumed mangled and the
+					// schema would freeze on nothing. Nothing has been
+					// emitted, so carry the whole partition into the
+					// next, larger attempt and stay in first-partition
+					// mode. The carry this accumulates is bounded by
+					// the position of the first data record.
+					return stream.PartitionResult{CompleteBytes: 0}, nil
+				}
+				// Without header/skip trimming there is nothing to
+				// re-consume: hand back any completed rowless records
+				// (comment lines, fully-skipped records) and defer the
+				// header capture and schema freeze until a partition
+				// actually produces rows. The empty placeholder table's
+				// shape is unsettled, so it is not emitted.
+				return stream.PartitionResult{CompleteBytes: len(part) - res.Remainder}, nil
+			}
+			out.Header = res.Header
+			if fixedSchema == nil {
+				// Freeze the inferred schema so later partitions agree.
+				fixedSchema = res.Table.Schema()
+			}
+			first = false
+		}
+		return stream.PartitionResult{
+			Table:         res.Table,
+			CompleteBytes: len(part) - res.Remainder,
+		}, nil
+	})
+
+	res, err := stream.Run(stream.Config{PartitionSize: partSize, Bus: bus.b, Arena: arena}, parser, stream.NewSource(r))
+	if err != nil {
+		return nil, err
+	}
+	out.Tables = make([]*Table, len(res.Tables))
+	for i, t := range res.Tables {
+		out.Tables[i] = &Table{t: t}
+	}
+	out.Stats = StreamStats{
+		Duration:     res.Stats.Duration,
+		Partitions:   res.Stats.Partitions,
+		InputBytes:   res.Stats.InputBytes,
+		OutputBytes:  res.Stats.OutputBytes,
+		ParseBusy:    res.Stats.ParseBusy,
+		MaxCarryOver: res.Stats.MaxCarryOver,
+		DeviceBytes:  res.Stats.DeviceBytes,
+		InvalidInput: invalid,
+	}
+	return out, nil
+}
+
+// instantBus configures an effectively delay-free interconnect for
+// internal streaming routes (ParseReader) that exist for memory
+// bounding, not bus modelling.
+var instantBus = BusConfig{Latency: -1, TimeScale: 1e9}
+
+// streamedResult folds a streaming run into the single-table Result
+// shape of Parse. Per-phase device times and chunk counts are
+// per-partition quantities and are not aggregated here.
+func streamedResult(sres *StreamResult) (*Result, error) {
+	combined, err := sres.Combined()
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Table:  combined,
+		Header: sres.Header,
+		Stats: Stats{
+			InputBytes:   sres.Stats.InputBytes,
+			Records:      int64(combined.NumRows()),
+			Columns:      combined.NumColumns(),
+			InvalidInput: sres.Stats.InvalidInput,
+			Duration:     sres.Stats.Duration,
+			DeviceBytes:  sres.Stats.DeviceBytes,
+		},
+	}, nil
+}

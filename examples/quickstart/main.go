@@ -1,6 +1,7 @@
-// Quickstart: parse an RFC 4180 CSV — header, quoted fields with
-// embedded delimiters, type inference — and work with the columnar
-// result. Run with:
+// Quickstart: compile a parsing configuration into a reusable Engine,
+// parse an RFC 4180 CSV — header, quoted fields with embedded
+// delimiters, type inference — and work with the columnar result. Run
+// with:
 //
 //	go run ./examples/quickstart
 package main
@@ -20,7 +21,16 @@ const orders = `order_id,customer,items,total,placed_at
 `
 
 func main() {
-	res, err := parparaw.Parse([]byte(orders), parparaw.Options{HasHeader: true})
+	// The Engine compiles the DFA and validates the options once; it is
+	// then safe to share across goroutines, and repeated Parse calls
+	// recycle device memory through the engine's arena pool. For a
+	// one-off parse, parparaw.Parse(bytes, opts) does the same in one
+	// step.
+	engine, err := parparaw.NewEngine(parparaw.Options{HasHeader: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := engine.Parse([]byte(orders))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"log"
 	"math/rand"
@@ -23,7 +24,11 @@ func main() {
 	// context machinery both get exercised.
 	input := generate(4 << 20)
 
-	res, err := parparaw.Stream(input, parparaw.StreamOptions{
+	// StreamReader pulls fixed-size partitions from any io.Reader — an
+	// os.File or network source works identically, and the full input is
+	// never buffered in one piece (peak host memory stays at
+	// O(PartitionSize + carry-over) however large the source is).
+	res, err := parparaw.StreamReader(bytes.NewReader(input), parparaw.StreamOptions{
 		Options:       parparaw.Options{},
 		PartitionSize: 256 << 10, // 256 KB partitions
 		// Scale the simulated PCIe delays down so the example is instant.

@@ -12,6 +12,61 @@ import (
 	"repro/internal/baseline"
 )
 
+// FuzzStreamReader parses the same bytes twice — whole-input Parse and
+// StreamReader with a fuzzed partition size and chunk size — and
+// asserts identical tables: partition boundaries, carry-over, and the
+// reader chunking must be invisible in the output. The schema is
+// pinned from the whole-input parse so per-partition type inference
+// (documented to see only the first partition) does not enter the
+// comparison.
+func FuzzStreamReader(f *testing.F) {
+	f.Add([]byte("a,b\nc,d\n"), uint16(5), uint8(31))
+	f.Add([]byte(`1,"x,y",2`+"\n"), uint16(3), uint8(7))
+	f.Add([]byte("\"q\"\"q\",\"multi\nline\"\n"), uint16(8), uint8(4))
+	f.Add([]byte("no trailing newline"), uint16(6), uint8(64))
+	f.Add([]byte("\"unterminated"), uint16(2), uint8(5))
+	f.Add([]byte("wide,record,with,many,columns\nshort\n"), uint16(9), uint8(16))
+
+	f.Fuzz(func(t *testing.T, input []byte, partRaw uint16, chunkRaw uint8) {
+		partSize := int(partRaw%256) + 1
+		chunk := int(chunkRaw%64) + 1
+		whole, err := Parse(input, Options{ChunkSize: chunk})
+		if err != nil {
+			t.Fatalf("Parse failed on %q: %v", input, err)
+		}
+		opts := Options{ChunkSize: chunk, Schema: whole.Table.Schema()}
+		streamed, err := StreamReader(bytes.NewReader(input), StreamOptions{
+			Options:       opts,
+			PartitionSize: partSize,
+			Bus:           NewBus(BusConfig{TimeScale: 1e9, Latency: -1}),
+		})
+		if err != nil {
+			t.Fatalf("StreamReader failed on %q (part=%d): %v", input, partSize, err)
+		}
+		combined, err := streamed.Combined()
+		if err != nil {
+			t.Fatalf("Combined failed on %q: %v", input, err)
+		}
+		// Re-parse with the pinned schema so both sides materialise
+		// through the same column types.
+		want, err := Parse(input, opts)
+		if err != nil {
+			t.Fatalf("re-Parse failed on %q: %v", input, err)
+		}
+		if combined.NumRows() != want.Table.NumRows() {
+			t.Fatalf("rows %d vs %d on %q (part=%d, chunk=%d)",
+				combined.NumRows(), want.Table.NumRows(), input, partSize, chunk)
+		}
+		a, b := tableRows(combined), tableRows(want.Table)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("row %d: %q vs %q on %q (part=%d, chunk=%d)",
+					i, a[i], b[i], input, partSize, chunk)
+			}
+		}
+	})
+}
+
 func FuzzParse(f *testing.F) {
 	f.Add([]byte("a,b\nc,d\n"), uint8(31))
 	f.Add([]byte(`1,"x,y",2`+"\n"), uint8(7))

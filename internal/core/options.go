@@ -131,9 +131,9 @@ func (o Options) withDefaults() Options {
 	if o.Device == nil {
 		o.Device = defaultDevice
 	}
-	if o.Arena == nil {
-		o.Arena = device.NewArena()
-	}
+	// The arena is deliberately NOT defaulted here: it is a per-run
+	// resource resolved by Plan.Execute, so one compiled Plan can serve
+	// many concurrent executions each with its own arena.
 	if o.ChunkSize <= 0 {
 		o.ChunkSize = DefaultChunkSize
 	}

@@ -9,80 +9,24 @@ import (
 	"repro/internal/device"
 	"repro/internal/offsets"
 	"repro/internal/statevec"
-	"repro/internal/transcode"
-	"repro/internal/utfx"
 )
 
 // Parse runs the full ParPaRaw pipeline over input and returns the
-// columnar result. The kernel stages and their device-buffer needs are
-// defined in kernels.go; all transient buffers come from the run's
-// arena (Options.Arena), so a caller that reuses one arena across runs
-// — as the streaming pipeline does — parses inside a fixed device
+// columnar result. It is the one-shot convenience form of the
+// compile/execute split in plan.go: the options are compiled into a
+// Plan and executed once. Callers that parse repeatedly with one
+// configuration should Compile once and Execute per input (the public
+// Engine does exactly that). The kernel stages and their device-buffer
+// needs are defined in kernels.go; all transient buffers come from the
+// run's arena (Options.Arena), so a caller that reuses one arena across
+// runs — as the streaming pipeline does — parses inside a fixed device
 // footprint.
 func Parse(input []byte, opts Options) (*Result, error) {
-	o := opts.withDefaults()
-	start := time.Now()
-	before := o.Device.Timers().Snapshot()
-
-	var header []string
-	body := input
-	if o.DetectEncoding {
-		enc, skip := transcode.DetectEncoding(body)
-		o.Encoding = enc
-		body = body[skip:]
-	}
-	rawLen := len(body) // raw (pre-transcode, post-BOM) length for remainder mapping
-	o.Arena.SetPhase("transcode")
-	switch o.Encoding {
-	case utfx.UTF16LE:
-		body = transcode.UTF16ToUTF8Arena(o.Device, o.Arena, "transcode", body, false)
-	case utfx.UTF16BE:
-		body = transcode.UTF16ToUTF8Arena(o.Device, o.Arena, "transcode", body, true)
-	}
-	tbody := body // the full transcoded body, before row/header trimming
-	transcoded := o.Encoding == utfx.UTF16LE || o.Encoding == utfx.UTF16BE
-	if o.SkipRows > 0 {
-		body = pruneRows(body, o.Machine, o.SkipRows)
-	}
-	if o.HasHeader {
-		var err error
-		header, body, err = splitHeader(o.Machine, body)
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	p := &pipeline{Options: o, input: body, headerNames: header}
-	table, err := p.run()
+	plan, err := Compile(opts)
 	if err != nil {
 		return nil, err
 	}
-
-	remainder := p.remainder
-	if transcoded && o.Trailing == TrailingRemainder {
-		// The pipeline's remainder counts transcoded UTF-8 bytes, but the
-		// streaming carry-over prepends *raw* input bytes to the next
-		// partition. The parsed input is a suffix of the transcoded body
-		// (header and skipped rows are consumed from the front), so the
-		// incomplete tail lengths agree; map the complete UTF-8 prefix
-		// back to its raw UTF-16 length. Everything after it — including
-		// any replacement emitted for a partition-split code unit, which
-		// re-parses intact once the next partition supplies the other
-		// half — is carried over.
-		complete := tbody[:len(tbody)-p.remainder]
-		remainder = rawLen - transcode.RawUTF16Bytes(o.Device, o.Arena, "transcode", complete)
-		if remainder < 0 {
-			// An odd trailing byte consumed by the header/skip prefix
-			// over-counts by one raw byte; nothing is left to carry.
-			remainder = 0
-		}
-	}
-
-	stats := p.stats
-	stats.Duration = time.Since(start)
-	stats.Phases = phaseDelta(before, o.Device.Timers().Snapshot())
-	stats.DeviceBytes = o.Arena.PeakBytes()
-	return &Result{Table: table, Header: header, Remainder: remainder, Stats: stats}, nil
+	return plan.Execute(input, plan.BaseExec(opts.Arena))
 }
 
 func phaseDelta(before, after map[string]time.Duration) map[string]time.Duration {

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/columnar"
+	"repro/internal/device"
+	"repro/internal/transcode"
+	"repro/internal/utfx"
+)
+
+// Plan is an immutable, compiled parse configuration: the parsing-rules
+// DFA with its match strategy applied, the resolved device, and the
+// validated options — everything about a parse that does not depend on
+// the input bytes. Compiling once and executing many times is what lets
+// a long-lived service (the public Engine) serve repeated and concurrent
+// parses without re-doing per-configuration setup, and what lets the
+// streaming pipeline vary only the per-partition knobs (Exec) between
+// partitions.
+//
+// A Plan is safe for concurrent Execute calls as long as each call uses
+// its own arena (Exec.Arena): the plan itself is never mutated after
+// Compile, the machine is immutable, and the device is documented safe
+// for concurrent launches.
+type Plan struct {
+	opts Options // defaults resolved; Arena deliberately nil (per-run)
+}
+
+// Compile validates opts, resolves defaults (machine, match strategy,
+// device, chunk size, terminator), and freezes the result into a Plan.
+// Configuration errors that do not depend on the input — negative or
+// duplicate column selections, unsorted skip lists, a non-positive
+// chunk size — are reported here, so a service can reject a bad
+// configuration before accepting traffic for it.
+func Compile(opts Options) (*Plan, error) {
+	o := opts.withDefaults()
+	o.Arena = nil // the arena is a per-execution resource (Exec.Arena)
+	seen := make(map[int]bool, len(o.SelectColumns))
+	for _, c := range o.SelectColumns {
+		if c < 0 {
+			return nil, fmt.Errorf("core: selected column %d is negative", c)
+		}
+		if seen[c] {
+			return nil, fmt.Errorf("core: column %d selected twice", c)
+		}
+		seen[c] = true
+	}
+	for i, s := range o.SkipRecords {
+		if i > 0 && o.SkipRecords[i-1] >= s {
+			return nil, fmt.Errorf("core: SkipRecords must be strictly ascending")
+		}
+	}
+	if o.ExpectedColumns < 0 {
+		return nil, fmt.Errorf("core: ExpectedColumns %d is negative", o.ExpectedColumns)
+	}
+	return &Plan{opts: o}, nil
+}
+
+// Options returns a copy of the plan's compiled options (Arena is nil:
+// it is supplied per execution).
+func (p *Plan) Options() Options { return p.opts }
+
+// Exec holds the per-run parameters of a plan execution — the knobs
+// that legitimately vary between two parses sharing one compiled plan.
+// The streaming pipeline is the motivating caller: it parses every
+// partition with the same plan but consumes the header and skipped rows
+// on the first partition only, parses all but the last partition in
+// remainder (carry-over) mode, and freezes the schema inferred from the
+// first partition for the rest.
+type Exec struct {
+	// Arena supplies the run's device memory. Nil uses a fresh arena;
+	// callers that execute repeatedly should recycle one arena per
+	// concurrent lane (Reset between runs) so the device footprint
+	// stays fixed.
+	Arena *device.Arena
+	// Trailing selects final-record vs carry-over treatment of the
+	// input's tail.
+	Trailing TrailingMode
+	// HasHeader consumes the input's first record as column names.
+	HasHeader bool
+	// SkipRows prunes the first n raw lines.
+	SkipRows int
+	// Schema fixes the output schema; nil infers it.
+	Schema *columnar.Schema
+	// Encoding declares the input's symbol encoding.
+	Encoding utfx.Encoding
+	// DetectEncoding sniffs and strips a byte-order mark first.
+	DetectEncoding bool
+}
+
+// BaseExec returns the plan's own per-run parameters with the given
+// arena: what a plain, non-streaming parse of a whole input uses.
+func (p *Plan) BaseExec(arena *device.Arena) Exec {
+	return Exec{
+		Arena:          arena,
+		Trailing:       p.opts.Trailing,
+		HasHeader:      p.opts.HasHeader,
+		SkipRows:       p.opts.SkipRows,
+		Schema:         p.opts.Schema,
+		Encoding:       p.opts.Encoding,
+		DetectEncoding: p.opts.DetectEncoding,
+	}
+}
+
+// Execute runs the compiled plan's kernel pipeline over input with the
+// given per-run parameters. It is the execute half of the
+// compile-once/execute-many split: no DFA construction, option
+// validation, or device resolution happens here.
+func (p *Plan) Execute(input []byte, exec Exec) (*Result, error) {
+	o := p.opts
+	o.Arena = exec.Arena
+	if o.Arena == nil {
+		o.Arena = device.NewArena()
+	}
+	o.Trailing = exec.Trailing
+	o.HasHeader = exec.HasHeader
+	o.SkipRows = exec.SkipRows
+	o.Schema = exec.Schema
+	o.Encoding = exec.Encoding
+	o.DetectEncoding = exec.DetectEncoding
+
+	start := time.Now()
+	before := o.Device.Timers().Snapshot()
+
+	var header []string
+	body := input
+	if o.DetectEncoding {
+		enc, skip := transcode.DetectEncoding(body)
+		o.Encoding = enc
+		body = body[skip:]
+	}
+	rawLen := len(body) // raw (pre-transcode, post-BOM) length for remainder mapping
+	o.Arena.SetPhase("transcode")
+	switch o.Encoding {
+	case utfx.UTF16LE:
+		body = transcode.UTF16ToUTF8Arena(o.Device, o.Arena, "transcode", body, false)
+	case utfx.UTF16BE:
+		body = transcode.UTF16ToUTF8Arena(o.Device, o.Arena, "transcode", body, true)
+	}
+	tbody := body // the full transcoded body, before row/header trimming
+	transcoded := o.Encoding == utfx.UTF16LE || o.Encoding == utfx.UTF16BE
+	if o.SkipRows > 0 {
+		body = pruneRows(body, o.Machine, o.SkipRows)
+	}
+	if o.HasHeader {
+		var err error
+		header, body, err = splitHeader(o.Machine, body)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	pl := &pipeline{Options: o, input: body, headerNames: header}
+	table, err := pl.run()
+	if err != nil {
+		return nil, err
+	}
+
+	remainder := pl.remainder
+	if transcoded && o.Trailing == TrailingRemainder {
+		// The pipeline's remainder counts transcoded UTF-8 bytes, but the
+		// streaming carry-over prepends *raw* input bytes to the next
+		// partition. The parsed input is a suffix of the transcoded body
+		// (header and skipped rows are consumed from the front), so the
+		// incomplete tail lengths agree; map the complete UTF-8 prefix
+		// back to its raw UTF-16 length. Everything after it — including
+		// any replacement emitted for a partition-split code unit, which
+		// re-parses intact once the next partition supplies the other
+		// half — is carried over.
+		complete := tbody[:len(tbody)-pl.remainder]
+		remainder = rawLen - transcode.RawUTF16Bytes(o.Device, o.Arena, "transcode", complete)
+		if remainder < 0 {
+			// An odd trailing byte consumed by the header/skip prefix
+			// over-counts by one raw byte; nothing is left to carry.
+			remainder = 0
+		}
+	}
+
+	stats := pl.stats
+	stats.Duration = time.Since(start)
+	stats.Phases = phaseDelta(before, o.Device.Timers().Snapshot())
+	stats.DeviceBytes = o.Arena.PeakBytes()
+	return &Result{Table: table, Header: header, Remainder: remainder, Stats: stats}, nil
+}

@@ -1,0 +1,94 @@
+package stream
+
+import (
+	"bytes"
+	"io"
+)
+
+// Source feeds the streaming pipeline with raw input, one fixed-size
+// chunk at a time. It adapts an io.Reader to the host side of Figure 7:
+// the pipeline never sees (or buffers) more of the input than the
+// chunks currently in flight, which is what lets the system ingest
+// inputs that do not fit in memory. A Source is used by a single
+// pipeline goroutine; it is not safe for concurrent Fill calls.
+type Source struct {
+	r      io.Reader
+	peek   [1]byte
+	peeked bool
+}
+
+// NewSource wraps an io.Reader.
+func NewSource(r io.Reader) *Source { return &Source{r: r} }
+
+// BytesSource adapts an in-memory input. It exists for callers (and
+// tests) that already hold the whole input; the pipeline still consumes
+// it chunk by chunk, exactly as it would a file.
+func BytesSource(input []byte) *Source { return NewSource(bytes.NewReader(input)) }
+
+// minChunkAlloc is the initial chunk-buffer capacity: buffers grow
+// geometrically from here toward the chunk size, so a source smaller
+// than the partition size never forces a partition-sized allocation.
+const minChunkAlloc = 64 << 10
+
+// Fill reads from the source until size bytes are buffered or the input
+// ends. dst is the recycled backing buffer from a previous Fill (nil on
+// first use); the filled bytes are returned as a slice of it, or of a
+// geometrically grown replacement the caller should retain for reuse.
+// The second result reports whether the source is now exhausted; it is
+// exact: when the chunk fills completely, Fill peeks one byte ahead
+// (stashing it for the next call) so the pipeline knows immediately
+// whether the chunk it just read is the input's last — the final
+// partition must be parsed in trailing-record mode rather than
+// carry-over mode, and that decision cannot wait for a later read.
+func (s *Source) Fill(dst []byte, size int) (data []byte, last bool, err error) {
+	if cap(dst) > size {
+		dst = dst[:size]
+	} else {
+		dst = dst[:cap(dst)]
+	}
+	n := 0
+	for {
+		if n == len(dst) {
+			if n >= size {
+				break
+			}
+			grow := 2 * n
+			if grow < minChunkAlloc {
+				grow = minChunkAlloc
+			}
+			if grow > size {
+				grow = size
+			}
+			next := make([]byte, grow)
+			copy(next, dst[:n])
+			dst = next
+		}
+		if s.peeked {
+			dst[n] = s.peek[0]
+			s.peeked = false
+			n++
+			continue
+		}
+		m, err := s.r.Read(dst[n:])
+		n += m
+		if err == io.EOF {
+			return dst[:n], true, nil
+		}
+		if err != nil {
+			return dst[:n], false, err
+		}
+	}
+	for {
+		m, err := s.r.Read(s.peek[:])
+		if m > 0 {
+			s.peeked = true
+			return dst[:n], false, nil
+		}
+		if err == io.EOF {
+			return dst[:n], true, nil
+		}
+		if err != nil {
+			return dst[:n], false, err
+		}
+	}
+}

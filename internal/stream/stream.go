@@ -1,11 +1,14 @@
 // Package stream implements the end-to-end streaming extension of §4.4 /
-// Figure 7: the input is split into partitions; each partition is
-// transferred to the device, parsed, and its columnar data returned —
-// with the three stages of consecutive partitions overlapped, exploiting
-// the bus's full-duplex capability. A double buffer bounds device memory:
-// partition i uses buffer i%2, and the transfer of partition i+2 must
-// wait until the parse of partition i has released its input buffer
-// (including the carry-over copy, the "copy c/o" dependency in Figure 7).
+// Figure 7: raw input is pulled from a Source in fixed-size chunks; each
+// partition is transferred to the device, parsed, and its columnar data
+// returned — with the three stages of consecutive partitions overlapped,
+// exploiting the bus's full-duplex capability. A double buffer bounds
+// both host and device memory: chunk i is read into host buffer i%2, and
+// the read of chunk i+2 must wait until the parse that consumed chunk i
+// has released its buffer (including the carry-over copy, the "copy c/o"
+// dependency in Figure 7). Peak host buffering is therefore
+// O(PartitionSize + carry-over), independent of the input's total size —
+// the property that lets the system ingest inputs larger than memory.
 //
 // The carry-over handles records straddling partition boundaries: the
 // parse of partition i reports how many of its bytes belong to complete
@@ -111,18 +114,32 @@ type Result struct {
 	Stats  Stats
 }
 
-// Run streams input through the pipeline. It returns the per-partition
-// tables in input order.
+// chunk is one fixed-size host buffer's worth of raw input on its way
+// from the Source to a partition parse.
+type chunk struct {
+	buf  int    // index of the double buffer holding the bytes
+	data []byte // the chunk's bytes (a prefix of the buffer)
+	last bool   // the source is exhausted after this chunk
+	err  error  // source read error (data/last are then meaningless)
+}
+
+// Run streams the source through the pipeline. It returns the
+// per-partition tables in input order.
 //
-// Each partition's parse input is a fixed-size device buffer of
-// PartitionSize bytes holding the carry-over followed by fresh input
-// (the "copy c/o" step of Figure 7): the fresh transfer is sized so the
-// total stays at PartitionSize. Fixed-size parse inputs keep every
-// device buffer in the same arena size class across partitions — the
-// paper's allocate-once-reuse-per-partition footprint. Only a
-// carry-over of PartitionSize or more (one record larger than a
-// partition) grows the buffer beyond PartitionSize.
-func Run(cfg Config, parser Parser, input []byte) (*Result, error) {
+// Stage 1 pulls PartitionSize-byte chunks from the source into two
+// recycled host buffers (the Figure 7 raw-input double buffer) and
+// charges each to the host-to-device bus direction. Stage 2 assembles
+// each partition's parse input — a fixed-size device buffer holding the
+// carry-over followed by fresh chunk bytes (the "copy c/o" step), sized
+// so the total stays at PartitionSize — and parses it; a chunk's host
+// buffer is recycled only after the parse that consumed its final byte
+// completes, preserving the figure's "transfer i+2 waits on parse i"
+// dependency. Fixed-size parse inputs keep every device buffer in the
+// same arena size class across partitions — the paper's
+// allocate-once-reuse-per-partition footprint. Only a carry-over of
+// PartitionSize or more (one record larger than a partition) grows the
+// parse buffer beyond PartitionSize.
+func Run(cfg Config, parser Parser, src *Source) (*Result, error) {
 	if cfg.PartitionSize <= 0 {
 		return nil, errors.New("stream: partition size must be positive")
 	}
@@ -130,7 +147,6 @@ func Run(cfg Config, parser Parser, input []byte) (*Result, error) {
 	if bus == nil {
 		bus = pcie.Default()
 	}
-	transfers := (len(input) + cfg.PartitionSize - 1) / cfg.PartitionSize
 
 	start := time.Now()
 
@@ -141,48 +157,55 @@ func Run(cfg Config, parser Parser, input []byte) (*Result, error) {
 		err   error
 	}
 
-	// Double-buffer tokens: the transfer two buffers ahead waits until a
-	// buffer's worth of input has been consumed by parsing (input
-	// buffers), and the parse two partitions ahead waits for the return
-	// of partition i (data buffers).
-	inputTokens := make(chan struct{}, 2+transfers)
+	// Double-buffer tokens: values are buffer indexes. The read two
+	// chunks ahead waits until the parse consuming chunk i releases its
+	// buffer (input side); the parse two partitions ahead waits for the
+	// return of partition i (data side).
+	inputTokens := make(chan int, 2)
 	dataTokens := make(chan struct{}, 2)
-	inputTokens <- struct{}{}
-	inputTokens <- struct{}{}
+	inputTokens <- 0
+	inputTokens <- 1
 	dataTokens <- struct{}{}
 	dataTokens <- struct{}{}
 
-	arrivals := make(chan int, 8)    // cumulative input bytes arrived on-device
+	chunks := make(chan chunk, 2)    // filled chunks awaiting consumption
 	toReturn := make(chan parsed, 1) // parsed partitions awaiting DtoH
 	done := make(chan error, 1)
-	quit := make(chan struct{}) // closed on parse error so stage 1 exits
+	quit := make(chan struct{}) // closed on error so stage 1 exits
 
-	// Stage 1: transfer raw input host→device in PartitionSize chunks.
+	// Stage 1: pull fixed-size chunks from the source and transfer them
+	// host→device. The two chunk buffers here are the run's entire
+	// host-side input footprint; they grow geometrically toward
+	// PartitionSize (Source.Fill), so a source smaller than a partition
+	// never pays for full-size buffers.
 	go func() {
-		defer close(arrivals)
-		sent := 0
-		for sent < len(input) {
+		defer close(chunks)
+		var bufs [2][]byte
+		for {
+			var idx int
 			select {
-			case <-inputTokens:
+			case idx = <-inputTokens:
 			case <-quit:
 				return
 			}
-			step := cfg.PartitionSize
-			if sent+step > len(input) {
-				step = len(input) - sent
+			data, last, err := src.Fill(bufs[idx], cfg.PartitionSize)
+			bufs[idx] = data
+			if err == nil {
+				bus.Transfer(pcie.HostToDevice, int64(len(data)))
 			}
-			bus.Transfer(pcie.HostToDevice, int64(step))
-			sent += step
 			select {
-			case arrivals <- sent:
+			case chunks <- chunk{buf: idx, data: data, last: last, err: err}:
 			case <-quit:
+				return
+			}
+			if last || err != nil {
 				return
 			}
 		}
 	}()
 
-	stats := Stats{InputBytes: int64(len(input))}
-	tables := make([]*columnar.Table, 0, transfers+1)
+	stats := Stats{}
+	var tables []*columnar.Table
 
 	// Stage 2: parse (serial across partitions — the device is one
 	// resource — but internally parallel).
@@ -193,31 +216,75 @@ func Run(cfg Config, parser Parser, input []byte) (*Result, error) {
 			close(toReturn)
 		}
 		var carry []byte
-		cursor := 0  // fresh input bytes consumed so far
-		arrived := 0 // fresh input bytes transferred so far
-		credit := 0  // consumed bytes not yet returned as input tokens
+		var cur chunk // current chunk being consumed
+		curOff := 0   // bytes of cur already consumed
+		haveChunk := false
+		exhausted := false // the source's last chunk has been fully consumed
+		var spent []int    // buffers drained by this partition, recycled after its parse
+		var segs [][]byte  // fresh chunk segments of the partition being assembled
 		for i := 0; ; i++ {
-			fresh := NextFresh(cfg.PartitionSize, len(carry), len(input)-cursor)
-			final := cursor+fresh == len(input)
-			for arrived < cursor+fresh {
-				v, ok := <-arrivals
-				if !ok {
-					break // stage 1 done: everything has arrived
-				}
-				arrived = v
+			// The carry-over displaces fresh input so carry + fresh fills
+			// one fixed PartitionSize buffer; a carry of a full partition
+			// or more (one record larger than a partition) still makes
+			// PartitionSize bytes of progress.
+			need := cfg.PartitionSize - len(carry)
+			if need <= 0 {
+				need = cfg.PartitionSize
 			}
+
+			// Gather the partition's fresh bytes as segments of the chunk
+			// buffers first (they stay stable until the post-parse token
+			// release below), so the device buffer can be allocated at
+			// its exact final size.
+			segs = segs[:0]
+			got := 0
+			for got < need && !exhausted {
+				if !haveChunk {
+					c, ok := <-chunks
+					if !ok {
+						// Stage 1 exited without a last marker: only
+						// possible after quit; this goroutine is already
+						// failing elsewhere.
+						return
+					}
+					if c.err != nil {
+						fail(i, fmt.Errorf("stream: reading input: %w", c.err))
+						return
+					}
+					stats.InputBytes += int64(len(c.data))
+					cur, curOff, haveChunk = c, 0, true
+				}
+				take := need - got
+				if avail := len(cur.data) - curOff; take > avail {
+					take = avail
+				}
+				if take > 0 {
+					segs = append(segs, cur.data[curOff:curOff+take])
+				}
+				got += take
+				curOff += take
+				if curOff == len(cur.data) {
+					haveChunk = false
+					spent = append(spent, cur.buf)
+					if cur.last {
+						exhausted = true
+					}
+				}
+			}
+			final := exhausted && !haveChunk
 
 			// Recycle the previous partition's device buffers: nothing
 			// transient outlives a partition parse (tables and the carry
 			// copy live on the host heap), so from here on this partition
 			// reuses its predecessor's allocations.
 			cfg.Arena.Reset()
-			// Assemble carry-over + fresh input (the "copy c/o" step) in
-			// the partition's device input buffer.
-			buf := device.Alloc[byte](cfg.Arena, len(carry)+fresh)[:0]
+			// Assemble carry-over + fresh chunk bytes (the "copy c/o"
+			// step) in the partition's device input buffer.
+			buf := device.Alloc[byte](cfg.Arena, len(carry)+got)[:0]
 			buf = append(buf, carry...)
-			buf = append(buf, input[cursor:cursor+fresh]...)
-			cursor += fresh
+			for _, seg := range segs {
+				buf = append(buf, seg...)
+			}
 
 			<-dataTokens
 			parseStart := time.Now()
@@ -238,11 +305,13 @@ func Run(cfg Config, parser Parser, input []byte) (*Result, error) {
 					stats.MaxCarryOver = len(carry)
 				}
 			}
-			// The consumed fresh bytes free device input capacity once
-			// the carry-over is copied out.
-			for credit += fresh; credit >= cfg.PartitionSize; credit -= cfg.PartitionSize {
-				inputTokens <- struct{}{}
+			// The drained chunks free host input capacity now that the
+			// parse consuming them is over (their bytes live on in the
+			// device buffer and the carry copy only).
+			for _, b := range spent {
+				inputTokens <- b
 			}
+			spent = spent[:0]
 			outBytes := res.OutputBytes
 			if outBytes <= 0 && res.Table != nil {
 				outBytes = res.Table.DataBytes()

@@ -56,7 +56,7 @@ func TestRunReassemblesRecordsAcrossPartitions(t *testing.T) {
 
 	for _, partSize := range []int{7, 16, 64, 100, len(input), len(input) * 2} {
 		p := &lineParser{}
-		res, err := Run(Config{PartitionSize: partSize, Bus: testBus()}, p, input)
+		res, err := Run(Config{PartitionSize: partSize, Bus: testBus()}, p, BytesSource(input))
 		if err != nil {
 			t.Fatalf("partSize=%d: %v", partSize, err)
 		}
@@ -96,7 +96,7 @@ func TestRunCarryOverContent(t *testing.T) {
 	// parser must see the carried bytes prepended.
 	input := []byte("abcdefgh\nijklmnop\n")
 	p := &lineParser{}
-	_, err := Run(Config{PartitionSize: 10, Bus: testBus()}, p, input)
+	_, err := Run(Config{PartitionSize: 10, Bus: testBus()}, p, BytesSource(input))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +117,7 @@ func TestRunGiantRecordSpanningPartitions(t *testing.T) {
 	record := strings.Repeat("y", 350)
 	input := []byte(record + "\nz\n")
 	p := &lineParser{}
-	res, err := Run(Config{PartitionSize: 100, Bus: testBus()}, p, input)
+	res, err := Run(Config{PartitionSize: 100, Bus: testBus()}, p, BytesSource(input))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +138,7 @@ func TestRunGiantRecordSpanningPartitions(t *testing.T) {
 
 func TestRunEmptyInput(t *testing.T) {
 	p := &lineParser{}
-	res, err := Run(Config{PartitionSize: 10, Bus: testBus()}, p, nil)
+	res, err := Run(Config{PartitionSize: 10, Bus: testBus()}, p, BytesSource(nil))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +152,7 @@ func TestRunParserError(t *testing.T) {
 	parser := ParserFunc(func(input []byte, final bool) (PartitionResult, error) {
 		return PartitionResult{}, boom
 	})
-	_, err := Run(Config{PartitionSize: 4, Bus: testBus()}, parser, []byte("abcdefgh"))
+	_, err := Run(Config{PartitionSize: 4, Bus: testBus()}, parser, BytesSource([]byte("abcdefgh")))
 	if err == nil || !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want wrapped boom", err)
 	}
@@ -162,13 +162,13 @@ func TestRunBadCompleteBytes(t *testing.T) {
 	parser := ParserFunc(func(input []byte, final bool) (PartitionResult, error) {
 		return PartitionResult{CompleteBytes: len(input) + 5}, nil
 	})
-	if _, err := Run(Config{PartitionSize: 4, Bus: testBus()}, parser, []byte("abcdefgh")); err == nil {
+	if _, err := Run(Config{PartitionSize: 4, Bus: testBus()}, parser, BytesSource([]byte("abcdefgh"))); err == nil {
 		t.Fatal("want error for out-of-range CompleteBytes")
 	}
 }
 
 func TestRunConfigValidation(t *testing.T) {
-	if _, err := Run(Config{PartitionSize: 0}, ParserFunc(nil), nil); err == nil {
+	if _, err := Run(Config{PartitionSize: 0}, ParserFunc(nil), BytesSource(nil)); err == nil {
 		t.Error("want error for zero partition size")
 	}
 }
@@ -222,7 +222,7 @@ func TestStreamingScheduleOverlap(t *testing.T) {
 		}
 		serial := time.Since(serialStart)
 
-		res, err := Run(Config{PartitionSize: partSize, Bus: bus}, parser, input)
+		res, err := Run(Config{PartitionSize: partSize, Bus: bus}, parser, BytesSource(input))
 		if err != nil {
 			t.Fatal(err)
 		}

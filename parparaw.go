@@ -20,7 +20,9 @@
 //
 // # Quick start
 //
-//	table, err := parparaw.Parse(csvBytes, parparaw.Options{HasHeader: true})
+//	engine, err := parparaw.NewEngine(parparaw.Options{HasHeader: true})
+//	if err != nil { ... }
+//	table, err := engine.Parse(csvBytes) // reusable, safe for concurrent callers
 //	if err != nil { ... }
 //	col := table.Table.ColumnByName("fare_amount")
 //	for i := 0; i < col.Len(); i++ {
@@ -159,20 +161,6 @@ func (e Encoding) internal() utfx.Encoding {
 	}
 }
 
-// encodingFromInternal is the inverse of Encoding.internal.
-func encodingFromInternal(e utfx.Encoding) Encoding {
-	switch e {
-	case utfx.UTF8:
-		return UTF8
-	case utfx.UTF16LE:
-		return UTF16LE
-	case utfx.UTF16BE:
-		return UTF16BE
-	default:
-		return ASCII
-	}
-}
-
 // Stats describes a completed parse.
 type Stats struct {
 	// InputBytes is the byte count parsed (after row skipping and header
@@ -231,7 +219,10 @@ var PhaseNames = core.PhaseNames
 // Parse parses delimiter-separated input into a columnar table using
 // the massively parallel pipeline of §3. The entire input is processed
 // on-device; for inputs that should be streamed through bounded memory
-// with overlapped transfers, use Stream.
+// with overlapped transfers, use StreamReader. Every Parse call
+// compiles its options from scratch — callers parsing repeatedly with
+// one configuration (or serving concurrent callers) should construct an
+// Engine once and use Engine.Parse.
 func Parse(input []byte, opts Options) (*Result, error) {
 	res, err := core.Parse(input, opts.internal(core.TrailingRecord))
 	if err != nil {

@@ -1,16 +1,12 @@
 package parparaw
 
 import (
-	"fmt"
+	"bytes"
 	"io"
 	"time"
 
 	"repro/internal/columnar"
-	"repro/internal/core"
-	"repro/internal/device"
 	"repro/internal/pcie"
-	"repro/internal/stream"
-	"repro/internal/transcode"
 )
 
 // DefaultPartitionSize is the streaming partition size used when
@@ -77,6 +73,11 @@ type StreamStats struct {
 	// MaxCarryOver is the largest record fragment carried between
 	// partitions (bytes).
 	MaxCarryOver int
+	// InvalidInput reports that some partition's DFA saw an invalid
+	// transition (only set when Options.Validate is false; with Validate
+	// the run fails instead) — the streaming counterpart of
+	// Stats.InvalidInput.
+	InvalidInput bool
 	// DeviceBytes is the peak device-memory footprint across all
 	// partitions. All partitions share one recycled arena (§4.4), so in
 	// steady state this is roughly the footprint of the largest single
@@ -118,96 +119,64 @@ func (r *StreamResult) NumRows() int {
 	return n
 }
 
-// Stream parses the input end-to-end through the streaming pipeline of
-// §4.4: the input is split into partitions; each is transferred to the
-// (simulated) device, parsed, and its columnar data returned — with the
-// three stages of consecutive partitions overlapped to exploit the
-// bus's full-duplex capability. Records straddling partition boundaries
-// are carried over intact.
+// Stream parses an in-memory input end-to-end through the streaming
+// pipeline of §4.4: the input is consumed in partitions; each is
+// transferred to the (simulated) device, parsed, and its columnar data
+// returned — with the three stages of consecutive partitions overlapped
+// to exploit the bus's full-duplex capability. Records straddling
+// partition boundaries are carried over intact. It is a thin wrapper
+// over StreamReader; inputs that should never be materialised in one
+// buffer go straight to StreamReader.
 func Stream(input []byte, opts StreamOptions) (*StreamResult, error) {
-	if opts.PartitionSize == 0 {
-		opts.PartitionSize = DefaultPartitionSize
-	}
-	bus := opts.Bus
-	if bus == nil {
-		bus = NewBus(BusConfig{})
-	}
-	if opts.DetectEncoding {
-		// Detect once on the whole input's head and freeze the result:
-		// only the first partition carries the byte-order mark, so
-		// per-partition detection would mis-read every later partition
-		// as ASCII.
-		enc, skip := transcode.DetectEncoding(input)
-		input = input[skip:]
-		opts.DetectEncoding = false
-		opts.Encoding = encodingFromInternal(enc)
-	}
+	return StreamReader(bytes.NewReader(input), opts)
+}
 
-	out := &StreamResult{}
-	first := true
-	fixedSchema := opts.Schema.internal()
-	// One arena for the whole run: stream.Run resets it between
-	// partitions, so consecutive partitions parse inside the same device
-	// allocations instead of growing the heap per partition.
-	arena := device.NewArena()
-	parser := stream.ParserFunc(func(part []byte, final bool) (stream.PartitionResult, error) {
-		trailing := core.TrailingRemainder
-		if final {
-			trailing = core.TrailingRecord
-		}
-		copts := opts.Options.internal(trailing)
-		copts.Schema = fixedSchema
-		copts.Arena = arena
-		copts.HasHeader = opts.HasHeader && first
-		copts.SkipRows = 0
-		if first {
-			copts.SkipRows = opts.SkipRows
-		}
-		res, err := core.Parse(part, copts)
-		if err != nil {
-			return stream.PartitionResult{}, err
-		}
-		if first {
-			out.Header = res.Header
-			if fixedSchema == nil {
-				// Freeze the inferred schema so later partitions agree.
-				fixedSchema = res.Table.Schema()
-			}
-			first = false
-		}
-		return stream.PartitionResult{
-			Table:         res.Table,
-			CompleteBytes: len(part) - res.Remainder,
-		}, nil
-	})
-
-	res, err := stream.Run(stream.Config{PartitionSize: opts.PartitionSize, Bus: bus.b, Arena: arena}, parser, input)
+// StreamReader parses everything r yields through the end-to-end
+// streaming pipeline of §4.4, pulling fixed-size partitions from the
+// reader as the device consumes them. The full input is never
+// materialised: peak host buffering is bounded by O(PartitionSize +
+// largest carry-over), so files and network sources larger than memory
+// stream through fine. Byte-order-mark detection, the header record,
+// and skipped rows are handled at the first-chunk boundary; with a nil
+// Schema the types inferred from the first partition are frozen for the
+// rest of the run.
+//
+// Callers making repeated streaming runs with one configuration should
+// construct an Engine once and use Engine.StreamReader, which this
+// function wraps with a throwaway engine.
+func StreamReader(r io.Reader, opts StreamOptions) (*StreamResult, error) {
+	e, err := NewEngine(opts.Options)
 	if err != nil {
 		return nil, err
 	}
-	out.Tables = make([]*Table, len(res.Tables))
-	for i, t := range res.Tables {
-		out.Tables[i] = &Table{t: t}
-	}
-	out.Stats = StreamStats{
-		Duration:     res.Stats.Duration,
-		Partitions:   res.Stats.Partitions,
-		InputBytes:   res.Stats.InputBytes,
-		OutputBytes:  res.Stats.OutputBytes,
-		ParseBusy:    res.Stats.ParseBusy,
-		MaxCarryOver: res.Stats.MaxCarryOver,
-		DeviceBytes:  res.Stats.DeviceBytes,
-	}
-	return out, nil
+	return e.StreamReader(r, StreamConfig{PartitionSize: opts.PartitionSize, Bus: opts.Bus})
 }
 
-// ParseReader reads r to the end and parses it with Parse. It is the
-// convenience entry point for files and network sources; inputs larger
-// than memory should be driven through Stream partition by partition.
+// ReaderStreamThreshold is the input size in bytes above which
+// ParseReader stops buffering the whole input and routes it through the
+// streaming pipeline instead: reading to the end first would defeat the
+// point of a Reader entry point for large inputs. At twice
+// DefaultPartitionSize (64 MiB), inputs small enough to parse in one
+// shot still take the faster single-shot path, while anything larger
+// streams with bounded host buffering. It is a variable only so tests
+// can lower it; services should treat it as a constant.
+var ReaderStreamThreshold = 2 * DefaultPartitionSize
+
+// ParseReader parses everything r yields. Inputs up to
+// ReaderStreamThreshold bytes are buffered and parsed in one shot
+// (identical to Parse); larger inputs are routed through the streaming
+// pipeline with DefaultPartitionSize partitions and an instantaneous
+// bus, then folded into one table, so ParseReader never materialises
+// more than O(threshold + output) host memory for the raw input. On the
+// streamed route, type inference sees only the first partition (pass an
+// explicit Schema for full determinism), Stats reports volumes and
+// duration but no per-phase device times or chunk counts, and
+// Stats.InputBytes counts raw streamed bytes rather than post-header
+// parsed bytes. Stats.InvalidInput is reported on both routes.
 func ParseReader(r io.Reader, opts Options) (*Result, error) {
-	data, err := io.ReadAll(r)
+	e, err := NewEngine(opts)
 	if err != nil {
-		return nil, fmt.Errorf("parparaw: reading input: %w", err)
+		return nil, err
 	}
-	return Parse(data, opts)
+	return e.ParseReader(r)
 }
