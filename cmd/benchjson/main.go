@@ -1,0 +1,116 @@
+// Command benchjson converts `go test -bench` output into the JSON the
+// repository tracks across PRs (BENCH_*.json): one entry per benchmark
+// mapping its name to MB/s, allocs/op, device-bytes, and ns/op, so the
+// performance trajectory of the parse pipeline is recorded instead of
+// guessed.
+//
+// Usage:
+//
+//	go test -run '^$' -bench '^BenchmarkParse' -benchtime 10x . | go run ./cmd/benchjson -o BENCH_x.json
+//
+// Lines that are not benchmark results (the goos/pkg preamble, PASS/ok)
+// are ignored, so the tool can sit directly on a `go test` pipe.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result holds the metrics of one benchmark line. Metrics a benchmark
+// does not report are zero and omitted from the JSON.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op,omitempty"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	DeviceBytes float64 `json:"device_bytes,omitempty"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	results, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBench extracts benchmark result lines of the form
+//
+//	BenchmarkName-8  10  123456 ns/op  42.05 MB/s  59408832 device-bytes  21013074 B/op  461 allocs/op
+//
+// into the result map, keyed by the benchmark name with the -GOMAXPROCS
+// suffix stripped (so recorded names stay comparable across hosts).
+func parseBench(r io.Reader) (map[string]Result, error) {
+	results := make(map[string]Result)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if cut := strings.LastIndex(name, "-"); cut > 0 {
+			if _, err := strconv.Atoi(name[cut+1:]); err == nil {
+				name = name[:cut]
+			}
+		}
+		var res Result
+		// fields[1] is the iteration count; the rest are (value, unit)
+		// pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+			case "MB/s":
+				res.MBPerS = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			case "B/op":
+				res.BytesPerOp = v
+			case "device-bytes":
+				res.DeviceBytes = v
+			}
+		}
+		results[name] = res
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}

@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -39,9 +41,43 @@ func main() {
 	head := flag.Int("head", 0, "print the first N rows")
 	validate := flag.Bool("validate", false, "fail on format violations")
 	chunk := flag.Int("chunk", 0, "chunk size in bytes (default 31)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	if err := run(*header, *delim, *comment, *crlf, *mode, *streamFlag, *partition, *head, *validate, *chunk, flag.Arg(0)); err != nil {
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "parparaw:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "parparaw:", err)
+			os.Exit(1)
+		}
+	}
+
+	err := run(*header, *delim, *comment, *crlf, *mode, *streamFlag, *partition, *head, *validate, *chunk, flag.Arg(0))
+
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, merr := os.Create(*memprofile)
+		if merr != nil {
+			fmt.Fprintln(os.Stderr, "parparaw:", merr)
+			os.Exit(1)
+		}
+		runtime.GC() // settle heap statistics before the snapshot
+		if werr := pprof.WriteHeapProfile(f); werr != nil {
+			fmt.Fprintln(os.Stderr, "parparaw:", werr)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "parparaw:", err)
 		os.Exit(1)
 	}

@@ -68,17 +68,24 @@ func FuzzStreamReader(f *testing.F) {
 }
 
 func FuzzParse(f *testing.F) {
-	f.Add([]byte("a,b\nc,d\n"), uint8(31))
-	f.Add([]byte(`1,"x,y",2`+"\n"), uint8(7))
-	f.Add([]byte("\"q\"\"q\",\"multi\nline\"\n"), uint8(4))
-	f.Add([]byte(",,\n,,\n"), uint8(16))
-	f.Add([]byte("no trailing newline"), uint8(64))
-	f.Add([]byte("\"unterminated"), uint8(5))
-	f.Add([]byte{0xFF, 0x00, 0x7F, '\n'}, uint8(8))
+	f.Add([]byte("a,b\nc,d\n"), uint8(31), uint8(0))
+	f.Add([]byte(`1,"x,y",2`+"\n"), uint8(7), uint8(1))
+	f.Add([]byte("\"q\"\"q\",\"multi\nline\"\n"), uint8(4), uint8(2))
+	f.Add([]byte(",,\n,,\n"), uint8(16), uint8(3))
+	f.Add([]byte("no trailing newline"), uint8(64), uint8(0))
+	f.Add([]byte("\"unterminated"), uint8(5), uint8(1))
+	f.Add([]byte{0xFF, 0x00, 0x7F, '\n'}, uint8(8), uint8(2))
 
-	f.Fuzz(func(t *testing.T, input []byte, chunkRaw uint8) {
+	f.Fuzz(func(t *testing.T, input []byte, chunkRaw, fastRaw uint8) {
 		chunk := int(chunkRaw%64) + 1
-		res, err := Parse(input, Options{ChunkSize: chunk})
+		// fastRaw toggles the fused-table and skip-ahead fast paths, so
+		// the sequential oracle below catches any divergence between the
+		// fast and split per-byte paths.
+		res, err := Parse(input, Options{
+			ChunkSize:   chunk,
+			SplitTables: fastRaw&1 != 0,
+			NoSkipAhead: fastRaw&2 != 0,
+		})
 		if err != nil {
 			t.Fatalf("Parse failed on %q: %v", input, err)
 		}

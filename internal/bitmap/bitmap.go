@@ -68,6 +68,11 @@ func (b *Bitmap) Get(i int) bool {
 	return b.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
 }
 
+// Word returns the w'th backing word (bits [w*64, w*64+64)). Callers
+// iterating set bits word-at-a-time (the tag kernel's structural-byte
+// walk) use it to avoid a range-scan call per set bit.
+func (b *Bitmap) Word(w int) uint64 { return b.words[w] }
+
 // PopCount returns the number of set bits in [0, Len()).
 func (b *Bitmap) PopCount() int {
 	total := 0
@@ -152,6 +157,22 @@ func (b *Bitmap) FirstSetInRange(lo, hi int) (int, bool) {
 		}
 	}
 	return 0, false
+}
+
+// MergeWords ORs the staged words into the backing words starting at
+// word index loWord, under the same sharding discipline as
+// ChunkWriter.Flush: interior words are chunk-owned, boundary words are
+// merged with the lock-free atomic OR (chunks write disjoint bits).
+// It is the zero-copy staging primitive for kernels that keep their
+// chunk's words in local arrays instead of a writer struct — returning
+// a ChunkWriter by value costs a duffcopy per chunk per bitmap, which
+// profiles as several percent of the whole parse.
+func (b *Bitmap) MergeWords(loWord int, staged []uint64) {
+	for j, w := range staged {
+		if w != 0 {
+			orWord(&b.words[loWord+j], w)
+		}
+	}
 }
 
 // chunkWriterInline is the number of staging words a ChunkWriter holds

@@ -32,8 +32,7 @@ func splitHeader(m *dfa.Machine, input []byte) (names []string, rest []byte, err
 	s := m.Start()
 	var cur []byte
 	for i := 0; i < len(input); i++ {
-		g := m.Group(input[i])
-		e := m.Emission(s, g)
+		next, e := m.Step(s, input[i])
 		switch {
 		case e.IsRecordDelim():
 			names = append(names, string(cur))
@@ -44,7 +43,7 @@ func splitHeader(m *dfa.Machine, input []byte) (names []string, rest []byte, err
 		case e.IsData():
 			cur = append(cur, input[i])
 		}
-		s = m.NextByGroup(s, g)
+		s = next
 		if m.IsInvalid(s) {
 			return nil, nil, fmt.Errorf("core: invalid header at byte %d", i)
 		}

@@ -10,13 +10,13 @@ package core
 
 import (
 	"fmt"
-	"math/bits"
 
 	"repro/internal/bitmap"
 	"repro/internal/columnar"
 	"repro/internal/convert"
 	"repro/internal/css"
 	"repro/internal/device"
+	"repro/internal/dfa"
 	"repro/internal/offsets"
 	"repro/internal/radix"
 	"repro/internal/scan"
@@ -186,36 +186,32 @@ func (p *pipeline) tagSymbolsStage() error {
 	return nil
 }
 
-// partitionScatter is the partition phase (§3.3): a stable radix scatter
-// of the symbols (and their per-mode payloads) into per-column
-// concatenated symbol strings, with the key histogram yielding the CSS
-// boundaries.
+// partitionScatter is the partition phase (§3.3): a stable scatter of
+// the symbols (and their per-mode payloads) into per-column concatenated
+// symbol strings, with the key histogram yielding the CSS boundaries.
+// Column-tag keys span only sentinel+1 values, so instead of the
+// paper's general LSD radix sort (permutation passes + payload gathers)
+// a single-pass counting scatter moves every payload straight to its
+// final position — no permutation buffer, one data-movement pass.
 func (p *pipeline) partitionScatter() error {
 	d, n := p.Device, len(p.input)
-	keys := p.tags.colTags
-	keyBits := bits.Len32(p.sentinel)
-	perm := radix.SortPermutationArena(d, p.Arena, "partition", keys, keyBits)
 	numKeys := int(p.sentinel) + 1
-	p.hist = radix.HistogramKeysArena(d, p.Arena, "partition", keys, numKeys)
-
-	symSrc := p.input
+	pay := radix.ScatterPayloads{SymsSrc: p.input}
 	if p.Mode == css.InlineTerminated {
-		symSrc = p.tags.rewrite
+		pay.SymsSrc = p.tags.rewrite
 	}
 	p.sortedSyms = device.Alloc[byte](p.Arena, n)
-	radix.Gather(d, "partition", p.sortedSyms, symSrc, perm)
+	pay.SymsDst = p.sortedSyms
 	if p.Mode == css.RecordTagged {
 		p.sortedRecs = device.Alloc[uint32](p.Arena, n)
-		radix.Gather(d, "partition", p.sortedRecs, p.tags.recTags, perm)
+		pay.RecsDst, pay.RecsSrc = p.sortedRecs, p.tags.recTags
 	}
 	if p.Mode == css.VectorDelimited {
 		p.sortedAux = device.Alloc[bool](p.Arena, n)
-		radix.Gather(d, "partition", p.sortedAux, p.tags.aux, perm)
+		pay.AuxDst, pay.AuxSrc = p.sortedAux, p.tags.aux
 	}
-	p.tags = nil // tag buffers and permutation are dead after the scatter
-
-	p.colStart = device.Alloc[int64](p.Arena, numKeys)
-	scan.Sequential(scan.Sum[int64](), p.hist, p.colStart, false)
+	p.hist, p.colStart = radix.CountingScatterArena(d, p.Arena, "partition", p.tags.colTags, numKeys, pay)
+	p.tags = nil // tag buffers are dead after the scatter
 	return nil
 }
 
@@ -283,6 +279,11 @@ func (p *pipeline) convertColumns() error {
 // counting during emission is arithmetically identical and saves a
 // pass). The bitmap words and chunk metadata are arena-backed; the
 // per-chunk staging words live on the kernel goroutine's stack.
+//
+// On the fused fast path each byte costs one fused-table load, and the
+// skip-ahead scanners jump over runs of data-emitting self-loops (field
+// text) eight bytes per test: no bitmap bit is set and no metadata
+// changes inside such a run, so the cursor simply advances.
 func (p *pipeline) emitBitmaps() {
 	n := len(p.input)
 	m := p.Machine
@@ -292,21 +293,53 @@ func (p *pipeline) emitBitmaps() {
 		control: bitmap.FromWords(device.Alloc[uint64](p.Arena, bitmap.WordsFor(n)), n),
 	}
 	p.meta = device.Alloc[chunkMeta](p.Arena, p.chunks)
+	fused := m.Fused()
+	skip := m.SkipScanners()
 	p.Device.Launch("parse", p.chunks, func(c int) {
 		lo, hi := p.chunkBounds(c)
-		wr := p.bitmaps.record.ChunkWriterAt(lo, hi)
-		wf := p.bitmaps.field.ChunkWriterAt(lo, hi)
-		wc := p.bitmaps.control.ChunkWriterAt(lo, hi)
+		// Bitmap bits are staged in chunk-local word arrays and OR-merged
+		// once at the end (boundary words atomically): no writer structs
+		// to copy, no per-bit range checks. A default-sized chunk spans
+		// at most emitStageWords backing words; oversized chunks spill to
+		// the heap (few chunks then, so the allocation is irrelevant).
+		loWord := lo >> 6
+		stageWords := 0
+		if hi > lo {
+			stageWords = (hi-1)>>6 - loWord + 1
+		}
+		var inlineRec, inlineFld, inlineCtl [emitStageWords]uint64
+		recW, fldW, ctlW := inlineRec[:], inlineFld[:], inlineCtl[:]
+		if stageWords > emitStageWords {
+			recW = make([]uint64, stageWords)
+			fldW = make([]uint64, stageWords)
+			ctlW = make([]uint64, stageWords)
+		}
 		s := p.startState[c]
 		cm := chunkMeta{}
 		relCol := 0
-		for i := lo; i < hi; i++ {
-			g := m.Group(p.input[i])
-			e := m.Emission(s, g)
+		for i := lo; i < hi; {
+			if skip != nil {
+				if sc := skip[s]; sc != nil {
+					i = sc.Next(p.input, i, hi)
+					if i >= hi {
+						break
+					}
+				}
+			}
+			var e dfa.Emission
+			if fused {
+				s, e = m.Step(s, p.input[i])
+			} else {
+				g := m.Group(p.input[i])
+				e = m.Emission(s, g)
+				s = m.NextByGroup(s, g)
+			}
+			j := i>>6 - loWord
+			mask := uint64(1) << (i & 63)
 			switch {
 			case e.IsRecordDelim():
-				wr.Set(i)
-				wc.Set(i)
+				recW[j] |= mask
+				ctlW[j] |= mask
 				cm.recCount++
 				if !cm.sawRec {
 					cm.sawRec = true
@@ -316,17 +349,17 @@ func (p *pipeline) emitBitmaps() {
 				}
 				relCol = 0
 			case e.IsFieldDelim():
-				wf.Set(i)
-				wc.Set(i)
+				fldW[j] |= mask
+				ctlW[j] |= mask
 				relCol++
 			case e.IsControl():
-				wc.Set(i)
+				ctlW[j] |= mask
 			}
-			s = m.NextByGroup(s, g)
+			i++
 		}
-		wr.Flush()
-		wf.Flush()
-		wc.Flush()
+		p.bitmaps.record.MergeWords(loWord, recW[:stageWords])
+		p.bitmaps.field.MergeWords(loWord, fldW[:stageWords])
+		p.bitmaps.control.MergeWords(loWord, ctlW[:stageWords])
 		if cm.sawRec {
 			cm.colOff = offsets.ColumnOffset{Kind: offsets.Abs, Value: relCol}
 		} else {
@@ -335,3 +368,8 @@ func (p *pipeline) emitBitmaps() {
 		p.meta[c] = cm
 	})
 }
+
+// emitStageWords is the emit kernel's inline staging capacity: enough
+// for any chunk of up to (emitStageWords-1)*64 bytes at any alignment.
+// The default 31-byte chunk needs two.
+const emitStageWords = 4

@@ -92,8 +92,19 @@ type Options struct {
 	// non-accepting end state (§4.3 "Validating format"). When false,
 	// Result.Stats.InvalidInput records the condition instead.
 	Validate bool
-	// MatchStrategy selects SWAR or table-based symbol matching.
+	// MatchStrategy selects SWAR or table-based symbol matching. The
+	// strategy is applied when the machine's fused tables are compiled;
+	// no per-byte branch remains in the kernels.
 	MatchStrategy dfa.MatchStrategy
+	// SplitTables disables the fused byte-indexed DFA tables and runs
+	// the kernels over the original split lookups (byte → group, then
+	// (group, state) → next/emission) — the fused-vs-split ablation
+	// axis and the parity/fuzz oracle's reference path.
+	SplitTables bool
+	// NoSkipAhead disables the interesting-byte skip-ahead fast path,
+	// forcing per-byte stepping even through runs of plain data bytes —
+	// the skipahead-on/off ablation axis.
+	NoSkipAhead bool
 	// Trailing controls what happens to input after the last record
 	// delimiter. TrailingRecord (default) parses it as one final record;
 	// TrailingRemainder excludes it and reports its size in
@@ -128,6 +139,7 @@ func (o Options) withDefaults() Options {
 		o.Machine = defaultMachine
 	}
 	o.Machine = o.Machine.SetMatchStrategy(o.MatchStrategy)
+	o.Machine = o.Machine.SetFastPath(!o.SplitTables, !o.NoSkipAhead)
 	if o.Device == nil {
 		o.Device = defaultDevice
 	}

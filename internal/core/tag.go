@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/bits"
 	"sort"
 
 	"repro/internal/bitmap"
@@ -69,16 +70,64 @@ func (p *pipeline) tagSymbols() []bool {
 		// skipPtr is the lower bound of rec in the skip list; rec - skipPtr
 		// is the output record index.
 		skipPtr := sort.Search(len(skip), func(i int) bool { return skip[i] >= rec })
-		for i := lo; i < hi; i++ {
-			isRec := bm.record.Get(i)
-			isFld := bm.field.Get(i)
+		// Every non-data symbol (record delimiter, field delimiter,
+		// control) carries the control bit, so the clear runs of the
+		// control bitmap are exactly the data runs — and within one data
+		// run the record, column, and skip context cannot change. Tagging
+		// therefore walks structural byte to structural byte — consuming
+		// the control bitmap's set bits word at a time — and fills each
+		// data run in bulk instead of re-deriving the context per byte.
+		cw := lo >> 6
+		var pend uint64
+		if lo < hi {
+			pend = bm.control.Word(cw) &^ (1<<uint(lo&63) - 1)
+		}
+		// nextStructural returns the next unconsumed set bit of the
+		// control bitmap in [lo, hi), or hi.
+		nextStructural := func() int {
+			for {
+				if pend != 0 {
+					s := cw<<6 + bits.TrailingZeros64(pend)
+					pend &= pend - 1
+					if s >= hi {
+						return hi
+					}
+					return s
+				}
+				cw++
+				if cw<<6 >= hi {
+					return hi
+				}
+				pend = bm.control.Word(cw)
+			}
+		}
+		for i := lo; i < hi; {
 			// Symbols beyond the last counted record (the remainder in
 			// TrailingRemainder mode) are irrelevant, like skipped records.
 			inSkipList := skipPtr < len(skip) && skip[skipPtr] == rec
 			recSkipped := inSkipList || rec >= p.numRecords
 			outRec := rec - int64(skipPtr)
+
+			next := nextStructural()
+			if next > i {
+				// Data run [i, next): one key, one record tag.
+				key := p.mapColumn(col, recSkipped)
+				fill32(t.colTags[i:next], key)
+				switch p.Mode {
+				case css.RecordTagged:
+					fill32(t.recTags[i:next], uint32(outRec))
+				case css.InlineTerminated:
+					copy(t.rewrite[i:next], p.input[i:next])
+				}
+				i = next
+				if i >= hi {
+					break
+				}
+			}
+
+			// Structural byte i.
 			switch {
-			case isRec:
+			case bm.record.Get(i):
 				p.tagDelimiter(t, i, col, outRec, recSkipped)
 				if inconsistent && !recSkipped && col+1 != p.numColumns {
 					rejected[outRec] = true
@@ -88,20 +137,13 @@ func (p *pipeline) tagSymbols() []bool {
 				if inSkipList {
 					skipPtr++
 				}
-			case isFld:
+			case bm.field.Get(i):
 				p.tagDelimiter(t, i, col, outRec, recSkipped)
 				col++
-			case bm.control.Get(i):
+			default: // control symbol that delimits nothing
 				t.colTags[i] = p.sentinel
-			default:
-				t.colTags[i] = p.mapColumn(col, recSkipped)
-				switch p.Mode {
-				case css.RecordTagged:
-					t.recTags[i] = uint32(outRec)
-				case css.InlineTerminated:
-					t.rewrite[i] = p.input[i]
-				}
 			}
+			i++
 		}
 	})
 
@@ -134,6 +176,14 @@ func (p *pipeline) tagDelimiter(t *tagBuffers, i int, col int, outRec int64, rec
 		key := p.mapColumn(col, recSkipped)
 		t.colTags[i] = key
 		t.aux[i] = key != p.sentinel
+	}
+}
+
+// fill32 writes v into every element of dst — the bulk tag assignment
+// for a data run.
+func fill32(dst []uint32, v uint32) {
+	for i := range dst {
+		dst[i] = v
 	}
 }
 

@@ -1,0 +1,92 @@
+package device
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// This file extends the §4.5 SWAR machinery from "match one byte against
+// a small symbol set" (SWARMatcher) to "find the next byte of a small
+// symbol set in a buffer", eight bytes per step. The DFA compiler uses it
+// for the interesting-byte skip-ahead fast path: for states whose
+// catch-all transition is a self-loop emitting plain data (inside an
+// unquoted or quoted field), every byte outside the declared symbol set
+// is a no-op, so the parse kernels can scan for the next *interesting*
+// byte with a handful of register operations per 8-byte window and
+// advance their cursors in bulk across the run — per-structural-byte
+// work instead of per-byte work.
+
+const (
+	ones64 = 0x0101010101010101
+	high64 = 0x8080808080808080
+)
+
+// RunScanner finds the next occurrence of any byte of a small
+// "interesting" set. Each interesting symbol is held broadcast into a
+// 64-bit register; a window of 8 input bytes is XORed against each
+// register and Mycroft's null-byte hack flags the matches. The flag
+// words of all symbols are ORed, so one trailing-zeros scan yields the
+// first interesting byte of the window.
+//
+// Mycroft's hack can over-flag a byte that sits above a true zero byte
+// in the same word, but never under-flags, and the lowest set flag of
+// each per-symbol flag word is always a true match. The scanner reports
+// the lowest flag of the OR across symbols, which is therefore the
+// lowest flag of whichever symbol word contributed it — exact. Even a
+// hypothetical false positive would only stop a skip early: callers
+// re-dispatch the reported byte through the transition tables, so
+// correctness never rests on the scan being tight.
+//
+// A RunScanner is immutable and safe for concurrent use.
+type RunScanner struct {
+	bcast  []uint64  // one broadcast register per interesting symbol
+	member [4]uint64 // 256-bit membership set for the sub-window tail
+}
+
+// NewRunScanner builds a scanner over the given symbol set. An empty set
+// is valid: every byte is uninteresting and Next always reports hi.
+func NewRunScanner(symbols []byte) *RunScanner {
+	sc := &RunScanner{bcast: make([]uint64, 0, len(symbols))}
+	for _, s := range symbols {
+		if sc.member[s>>6]&(1<<(s&63)) != 0 {
+			continue // duplicate: one register suffices
+		}
+		sc.member[s>>6] |= 1 << (s & 63)
+		sc.bcast = append(sc.bcast, uint64(s)*ones64)
+	}
+	return sc
+}
+
+// Symbols returns the number of distinct interesting symbols.
+func (sc *RunScanner) Symbols() int { return len(sc.bcast) }
+
+// Contains reports whether b is in the interesting set.
+func (sc *RunScanner) Contains(b byte) bool {
+	return sc.member[b>>6]&(1<<(b&63)) != 0
+}
+
+// Next returns the index of the first interesting byte in buf[i:hi], or
+// hi when the range holds none. It consumes full 8-byte windows with the
+// SWAR test and falls back to the membership set for the sub-window
+// tail.
+func (sc *RunScanner) Next(buf []byte, i, hi int) int {
+	for i+8 <= hi {
+		w := binary.LittleEndian.Uint64(buf[i:])
+		var flags uint64
+		for _, b := range sc.bcast {
+			x := w ^ b
+			flags |= (x - ones64) &^ x & high64
+		}
+		if flags != 0 {
+			return i + bits.TrailingZeros64(flags)>>3
+		}
+		i += 8
+	}
+	for ; i < hi; i++ {
+		b := buf[i]
+		if sc.member[b>>6]&(1<<(b&63)) != 0 {
+			return i
+		}
+	}
+	return hi
+}

@@ -1,0 +1,93 @@
+package device
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// nextNaive is the reference: a per-byte scan for set membership.
+func nextNaive(set []byte, buf []byte, i, hi int) int {
+	for ; i < hi; i++ {
+		if bytes.IndexByte(set, buf[i]) >= 0 {
+			return i
+		}
+	}
+	return hi
+}
+
+func TestRunScannerMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sets := [][]byte{
+		nil,
+		{'\n'},
+		{'\n', '"', ','},
+		{'\n', '"', ',', '\r', '#'},
+		{0x00},
+		{0xFF, 0x00, 0x01},
+		// Mycroft-hazard pair: 'a' ^ 'a'^1 — symbols one bit apart can
+		// produce borrow-chain false flags in each other's windows.
+		{'a', 'a' ^ 1},
+	}
+	for _, set := range sets {
+		sc := NewRunScanner(set)
+		for trial := 0; trial < 200; trial++ {
+			n := rng.Intn(100)
+			buf := make([]byte, n)
+			for j := range buf {
+				// Bias towards bytes near the set so matches are common.
+				if len(set) > 0 && rng.Intn(4) == 0 {
+					buf[j] = set[rng.Intn(len(set))] ^ byte(rng.Intn(2))
+				} else {
+					buf[j] = byte(rng.Intn(256))
+				}
+			}
+			lo := 0
+			if n > 0 {
+				lo = rng.Intn(n)
+			}
+			hi := lo + rng.Intn(n-lo+1)
+			got := sc.Next(buf, lo, hi)
+			want := nextNaive(set, buf, lo, hi)
+			if got != want {
+				t.Fatalf("set %q buf %q [%d,%d): Next = %d, naive = %d", set, buf, lo, hi, got, want)
+			}
+		}
+	}
+}
+
+func TestRunScannerLongBoringRun(t *testing.T) {
+	sc := NewRunScanner([]byte{'"'})
+	buf := bytes.Repeat([]byte{'x'}, 1000)
+	if got := sc.Next(buf, 0, len(buf)); got != len(buf) {
+		t.Fatalf("boring run: Next = %d, want %d", got, len(buf))
+	}
+	buf[777] = '"'
+	if got := sc.Next(buf, 0, len(buf)); got != 777 {
+		t.Fatalf("single match: Next = %d, want 777", got)
+	}
+	// The match must be found regardless of window alignment.
+	for lo := 770; lo <= 777; lo++ {
+		if got := sc.Next(buf, lo, len(buf)); got != 777 {
+			t.Fatalf("from %d: Next = %d, want 777", lo, got)
+		}
+	}
+}
+
+func TestRunScannerDuplicatesAndContains(t *testing.T) {
+	sc := NewRunScanner([]byte{',', ',', '\n'})
+	if sc.Symbols() != 2 {
+		t.Fatalf("duplicate symbol not collapsed: %d registers", sc.Symbols())
+	}
+	if !sc.Contains(',') || !sc.Contains('\n') || sc.Contains('x') {
+		t.Fatal("membership set wrong")
+	}
+}
+
+func TestRunScannerEmptySet(t *testing.T) {
+	sc := NewRunScanner(nil)
+	buf := []byte("anything at all, including \"delims\"\n")
+	if got := sc.Next(buf, 0, len(buf)); got != len(buf) {
+		t.Fatalf("empty set must skip everything: got %d", got)
+	}
+}

@@ -178,6 +178,9 @@ func (b *Builder) Build(start State) (*Machine, error) {
 	for g, sym := range b.symbols {
 		m.table[sym] = uint8(g)
 	}
+	// Fused byte-indexed fast path (fused.go), enabled by default.
+	m.fusedOn, m.skipOn = true, true
+	m.compileFast()
 	return m, nil
 }
 

@@ -103,6 +103,15 @@ type Machine struct {
 	groups int     // len(symbols) + 1
 	trans  []State // trans[g*numStates+s] = next state (row per group: Table 1 layout)
 	emit   []Emission
+
+	// Fused fast path (fused.go), compiled from the split tables above
+	// via the selected match strategy.
+	groupTab [256]uint8           // byte -> group, strategy resolved at compile time
+	fused    []uint16             // fused[b*numStates+s] = next | emission<<8
+	skip     []*device.RunScanner // per-state interesting-byte scanners
+	vecSkip  []*device.RunScanner // per-live-set scanners for the vector kernel
+	fusedOn  bool
+	skipOn   bool
 }
 
 // NumStates returns |S|.
@@ -138,31 +147,39 @@ func (m *Machine) InvalidState() (State, bool) { return m.invalid, m.hasInvalid 
 func (m *Machine) IsInvalid(s State) bool { return m.hasInvalid && s == m.invalid }
 
 // Symbols returns the lookup symbols; group i matches Symbols()[i] and
-// the catch-all group index is len(Symbols()).
+// the catch-all group index is len(Symbols()). The returned slice is the
+// machine's own (machines are immutable, and this is called on per-
+// partition paths that must not allocate) — callers must not modify it.
 func (m *Machine) Symbols() []byte {
-	out := make([]byte, len(m.symbols))
-	copy(out, m.symbols)
-	return out
+	return m.symbols
 }
 
 // SetMatchStrategy returns a copy of the machine using the given symbol
-// matching strategy.
+// matching strategy. The fused fast-path tables are recompiled through
+// the new strategy's matcher — the strategy is applied at compile time,
+// never branched on per byte.
 func (m *Machine) SetMatchStrategy(s MatchStrategy) *Machine {
+	if m.strat == s {
+		return m
+	}
 	c := *m
 	c.strat = s
+	c.compileFast()
 	return &c
 }
 
-// Group maps a byte to its symbol group using the configured strategy.
+// Group maps a byte to its symbol group. The strategy (SWAR vs lookup
+// table) is resolved into groupTab when the machine is compiled, so
+// there is no per-byte strategy branch.
 func (m *Machine) Group(b byte) uint32 {
-	if m.strat == MatchTable {
-		return uint32(m.table[b])
-	}
-	return m.matcher.Index(b)
+	return uint32(m.groupTab[b])
 }
 
 // Next returns the state reached from s on reading b.
 func (m *Machine) Next(s State, b byte) State {
+	if m.fusedOn {
+		return State(m.fused[int(b)*m.numStates+int(s)] & 0xFF)
+	}
 	return m.trans[int(m.Group(b))*m.numStates+int(s)]
 }
 
@@ -208,6 +225,10 @@ func (m *Machine) ChunkVectorInto(v statevec.Vector, chunk []byte) {
 }
 
 func (m *Machine) advanceVector(v statevec.Vector, chunk []byte) {
+	if m.fusedOn {
+		m.advanceVectorFused(v, chunk)
+		return
+	}
 	for _, b := range chunk {
 		row := m.Row(m.Group(b))
 		for i := range v {
@@ -219,6 +240,9 @@ func (m *Machine) advanceVector(v statevec.Vector, chunk []byte) {
 // Run simulates a single DFA instance from state s over input and returns
 // the final state (the sequential reference path).
 func (m *Machine) Run(s State, input []byte) State {
+	if m.fusedOn {
+		return m.runFused(s, input)
+	}
 	for _, b := range input {
 		s = m.trans[int(m.Group(b))*m.numStates+int(s)]
 	}

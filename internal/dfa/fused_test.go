@@ -1,0 +1,206 @@
+package dfa
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/statevec"
+)
+
+// fusedTestMachines returns the machine zoo the fused fast path must
+// agree with the split tables on: the paper's RFC 4180 machine plus the
+// variants with extra symbol groups (comments, CRLF) and both match
+// strategies.
+func fusedTestMachines() map[string]*Machine {
+	return map[string]*Machine{
+		"rfc4180":       RFC4180(),
+		"rfc4180-table": RFC4180().SetMatchStrategy(MatchTable),
+		"comment-crlf":  NewCSV(CSVOptions{Comment: '#', CarriageReturn: true}),
+		"semicolon":     NewCSV(CSVOptions{FieldDelim: ';', Quote: '\''}),
+	}
+}
+
+// fusedTestInputs generates inputs that exercise every skip-ahead
+// regime: long boring runs (quoted text), delimiter-dense fields, and
+// adversarial bytes around the scanner's 8-byte windows.
+func fusedTestInputs(rng *rand.Rand) [][]byte {
+	inputs := [][]byte{
+		nil,
+		[]byte("a,b,c\n"),
+		[]byte(`"quoted, text",plain` + "\n"),
+		[]byte("\"long quoted run without any interesting byte at all, spanning windows\"\n"),
+		[]byte("\"esc\"\"aped\",\"multi\nline\"\n"),
+		[]byte("no trailing newline"),
+		[]byte("# comment line\r\nvalue,1\r\n"),
+		[]byte("\"unterminated"),
+		[]byte(",,,\n,,,\n"),
+	}
+	alphabet := []byte("ab,\"\n\r#;'x\x00\xff\x01")
+	for i := 0; i < 40; i++ {
+		n := rng.Intn(200)
+		in := make([]byte, n)
+		for j := range in {
+			in[j] = alphabet[rng.Intn(len(alphabet))]
+		}
+		inputs = append(inputs, in)
+	}
+	return inputs
+}
+
+// TestStepMatchesSplitTables checks the fused table entry for every
+// (state, byte) pair against the split composition it was compiled
+// from: byte → group, then (group, state) → next state and emission.
+func TestStepMatchesSplitTables(t *testing.T) {
+	for name, m := range fusedTestMachines() {
+		for s := 0; s < m.NumStates(); s++ {
+			for b := 0; b < 256; b++ {
+				g := m.Group(byte(b))
+				wantNext := m.NextByGroup(State(s), g)
+				wantEmit := m.Emission(State(s), g)
+				next, emit := m.Step(State(s), byte(b))
+				if next != wantNext || emit != wantEmit {
+					t.Fatalf("%s: Step(%d, %#x) = (%d, %v), split tables say (%d, %v)",
+						name, s, b, next, emit, wantNext, wantEmit)
+				}
+			}
+		}
+	}
+}
+
+// TestSkipScannersConservative verifies the compile-time skip masks: a
+// byte the scanner does not consider interesting must be a data-emitting
+// self-loop in that state, because the kernels do no work at all for
+// skipped bytes.
+func TestSkipScannersConservative(t *testing.T) {
+	for name, m := range fusedTestMachines() {
+		scanners := m.SkipScanners()
+		if scanners == nil {
+			t.Fatalf("%s: skip scanners disabled by default", name)
+		}
+		for s, sc := range scanners {
+			if sc == nil {
+				continue
+			}
+			for b := 0; b < 256; b++ {
+				if sc.Contains(byte(b)) {
+					continue
+				}
+				next, emit := m.Step(State(s), byte(b))
+				if next != State(s) || emit != EmitData {
+					t.Fatalf("%s: state %q skips byte %#x but it transitions to %q emitting %v",
+						name, m.StateName(State(s)), b, m.StateName(next), emit)
+				}
+			}
+		}
+	}
+}
+
+// TestRunFusedParity runs every machine over every input from every
+// start state under all three fast-path configurations; the final state
+// must be identical.
+func TestRunFusedParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	inputs := fusedTestInputs(rng)
+	for name, m := range fusedTestMachines() {
+		split := m.SetFastPath(false, false)
+		noSkip := m.SetFastPath(true, false)
+		for _, in := range inputs {
+			for s := 0; s < m.NumStates(); s++ {
+				want := split.Run(State(s), in)
+				if got := m.Run(State(s), in); got != want {
+					t.Fatalf("%s: fused+skip Run from %d over %q = %d, split = %d", name, s, in, got, want)
+				}
+				if got := noSkip.Run(State(s), in); got != want {
+					t.Fatalf("%s: fused Run from %d over %q = %d, split = %d", name, s, in, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestChunkVectorFusedParity checks the multi-DFA vector kernel — the
+// consumer of the per-live-set skip scanners — against the split path.
+func TestChunkVectorFusedParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	inputs := fusedTestInputs(rng)
+	for name, m := range fusedTestMachines() {
+		split := m.SetFastPath(false, false)
+		noSkip := m.SetFastPath(true, false)
+		for _, in := range inputs {
+			want := split.ChunkVector(in)
+			if got := m.ChunkVector(in); !got.Equal(want) {
+				t.Fatalf("%s: fused+skip vector over %q = %v, split = %v", name, in, got, want)
+			}
+			if got := noSkip.ChunkVector(in); !got.Equal(want) {
+				t.Fatalf("%s: fused vector over %q = %v, split = %v", name, in, got, want)
+			}
+		}
+	}
+}
+
+// TestFastPathTogglesIndependent pins the toggle semantics the ablation
+// and the fuzzers rely on.
+func TestFastPathTogglesIndependent(t *testing.T) {
+	m := RFC4180()
+	if !m.Fused() || !m.SkipAhead() {
+		t.Fatal("fast path must be enabled by default")
+	}
+	split := m.SetFastPath(false, false)
+	if split.Fused() || split.SkipAhead() {
+		t.Fatal("SetFastPath(false, false) must disable both")
+	}
+	if split.SkipScanners() != nil {
+		t.Fatal("split machine must expose no skip scanners")
+	}
+	noSkip := m.SetFastPath(true, false)
+	if !noSkip.Fused() || noSkip.SkipAhead() || noSkip.SkipScanners() != nil {
+		t.Fatal("SetFastPath(true, false) must keep fused tables without skip-ahead")
+	}
+	// Skip-ahead without fused tables is meaningless: the toggle reports
+	// it off.
+	odd := m.SetFastPath(false, true)
+	if odd.SkipAhead() {
+		t.Fatal("skip-ahead must report disabled when fused tables are off")
+	}
+	if same := m.SetFastPath(true, true); same != m {
+		t.Fatal("SetFastPath with unchanged flags must return the receiver")
+	}
+}
+
+// TestFusedSurvivesStrategyChange ensures SetMatchStrategy recompiles
+// the fused tables through the new matcher rather than aliasing the old
+// ones.
+func TestFusedSurvivesStrategyChange(t *testing.T) {
+	swar := RFC4180()
+	table := swar.SetMatchStrategy(MatchTable)
+	for s := 0; s < swar.NumStates(); s++ {
+		for b := 0; b < 256; b++ {
+			n1, e1 := swar.Step(State(s), byte(b))
+			n2, e2 := table.Step(State(s), byte(b))
+			if n1 != n2 || e1 != e2 {
+				t.Fatalf("strategies disagree at state %d byte %#x: (%d,%v) vs (%d,%v)", s, b, n1, e1, n2, e2)
+			}
+		}
+	}
+}
+
+// TestChunkVectorIntoFusedParity covers the arena-backed vector entry
+// point the parse kernel actually calls.
+func TestChunkVectorIntoFusedParity(t *testing.T) {
+	m := RFC4180()
+	split := m.SetFastPath(false, false)
+	in := []byte(`"text with, delims",123,"more` + "\n" + `text"` + "\n")
+	got := make(statevec.Vector, m.NumStates())
+	want := make(statevec.Vector, m.NumStates())
+	for lo := 0; lo < len(in); lo += 7 {
+		hi := lo + 7
+		if hi > len(in) {
+			hi = len(in)
+		}
+		m.ChunkVectorInto(got, in[lo:hi])
+		split.ChunkVectorInto(want, in[lo:hi])
+		if !got.Equal(want) {
+			t.Fatalf("chunk [%d,%d): fused %v vs split %v", lo, hi, got, want)
+		}
+	}
+}

@@ -20,7 +20,9 @@ import (
 //  2. SWAR symbol matching vs a 256-entry lookup table;
 //  3. MFIRA-backed state vectors vs plain slices;
 //  4. single-pass decoupled-look-back scan vs the two-pass blocked scan
-//     vs a sequential scan.
+//     vs a sequential scan;
+//  5. fused byte-indexed DFA tables vs the split group-then-table
+//     lookups, and the interesting-byte skip-ahead on top of them.
 func Ablation(cfg Config) error {
 	if err := ablationContext(cfg); err != nil {
 		return err
@@ -30,7 +32,7 @@ func Ablation(cfg Config) error {
 	}
 	ablationMFIRA(cfg)
 	ablationScan(cfg)
-	return nil
+	return ablationFastPath(cfg)
 }
 
 // ablationContext compares the total *work* (1-core modelled time) and
@@ -68,14 +70,17 @@ func ablationContext(cfg Config) error {
 }
 
 // ablationMatcher compares the SWAR matcher against the 256-entry
-// lookup table on the parse phase (the only phase that matches
-// symbols). On a GPU the table loses to register pressure; on a CPU the
-// table is competitive — the experiment records the actual trade on
-// this host.
+// lookup table. Since PR 3 the strategy is a *compile-time* choice:
+// the selected matcher seeds the fused byte-indexed tables once, so no
+// per-byte matching runs in any kernel and the two timings below are
+// expected to agree (the experiment now certifies the strategies are
+// runtime-equivalent rather than measuring a per-byte trade; the
+// original GPU trade-off of §4.5 is register pressure, which the
+// simulated device does not model per byte).
 func ablationMatcher(cfg Config) error {
 	spec := cfg.specs()[1] // taxi: parse-heavy
 	input := spec.Generate(cfg.Size, cfg.Seed)
-	fmt.Fprintf(cfg.Out, "\n[2] symbol matching: SWAR vs 256-entry lookup table (%s, %s, parse phase)\n",
+	fmt.Fprintf(cfg.Out, "\n[2] symbol matching: SWAR vs 256-entry lookup table (%s, %s; compile-time choice — timings should agree)\n",
 		spec.Name, mb(len(input)))
 	for _, strat := range []dfa.MatchStrategy{dfa.MatchSWAR, dfa.MatchTable} {
 		res, err := cfg.parseModelled(input, core.Options{Schema: spec.Schema, MatchStrategy: strat})
@@ -88,6 +93,43 @@ func ablationMatcher(cfg Config) error {
 		}
 		fmt.Fprintf(cfg.Out, "%-8s parse %10sms   total %10sms\n",
 			name, ms(res.Stats.Phases["parse"]), ms(phaseTotal(res.Stats.Phases)))
+	}
+	return nil
+}
+
+// ablationFastPath quantifies the fused-table and skip-ahead fast
+// paths on both workloads: fused+skipahead (the default), fused tables
+// without skip-ahead, and the original split per-byte lookups. The
+// expected shape: skip-ahead dominates on the text-heavy quoted
+// workload (inside quotes only the closing quote is interesting, so
+// per-byte work becomes per-structural-byte work), while the
+// delimiter-dense taxi workload gains mostly from the fused single
+// load per byte.
+func ablationFastPath(cfg Config) error {
+	variants := []struct {
+		name          string
+		split, noSkip bool
+	}{
+		{"fused+skipahead", false, false},
+		{"fused", false, true},
+		{"split", true, true},
+	}
+	for _, spec := range cfg.specs() {
+		input := spec.Generate(cfg.Size, cfg.Seed)
+		fmt.Fprintf(cfg.Out, "\n[5] fused tables & skip-ahead: %s (%s)\n", spec.Name, mb(len(input)))
+		for _, v := range variants {
+			res, err := cfg.parseModelled(input, core.Options{
+				Schema:      spec.Schema,
+				SplitTables: v.split,
+				NoSkipAhead: v.noSkip,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(cfg.Out, "%-16s parse %10sms   tag %10sms   total %10sms\n",
+				v.name, ms(res.Stats.Phases["parse"]), ms(res.Stats.Phases["tag"]),
+				ms(phaseTotal(res.Stats.Phases)))
+		}
 	}
 	return nil
 }

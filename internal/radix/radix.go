@@ -117,6 +117,121 @@ func pass(d *device.Device, a *device.Arena, phase string, keys []uint32, src, d
 	})
 }
 
+// ScatterPayloads names the value streams a counting scatter moves along
+// with the sort key: the symbols themselves plus the tagging mode's
+// optional per-symbol payload (record tags or the delimiter vector).
+// A nil Dst/Src pair is simply not moved.
+type ScatterPayloads struct {
+	SymsDst, SymsSrc []byte
+	RecsDst, RecsSrc []uint32
+	AuxDst, AuxSrc   []bool
+}
+
+// CountingScatterArena partitions the payloads by their keys in a single
+// stable pass: per-tile key histogram, one exclusive prefix sum in
+// bucket-major order, then a fused gather-scatter that moves every
+// payload stream directly to its final position. It replaces the LSD
+// radix sort + permutation-gather sequence for the small key domains of
+// the partition phase (output column tags span sentinel+1 ≤ ~dozens of
+// values): same stable result, one data-movement pass instead of
+// two-plus, and no O(n) permutation buffer — the dominant device-memory
+// consumer of the partition phase.
+//
+// Returned hist[k] is the number of elements with key k and starts[k]
+// the first output index of key k (both arena-owned). Keys must lie in
+// [0, numKeys).
+func CountingScatterArena(d *device.Device, a *device.Arena, phase string, keys []uint32, numKeys int, pay ScatterPayloads) (hist, starts []int64) {
+	n := len(keys)
+	hist = device.Alloc[int64](a, numKeys)
+	starts = device.Alloc[int64](a, numKeys)
+	if n == 0 {
+		return hist, starts
+	}
+	tiles := (n + tileSize - 1) / tileSize
+	bs := d.Config().BlockSize
+
+	// (1) Per-tile histogram in bucket-major layout, exactly like one
+	// radix pass but over the full (small) key domain. Each tile counts
+	// into its own pre-carved scratch row (numKeys is dynamic, so the
+	// counters cannot live on the goroutine stack) and transposes into
+	// the bucket-major buffer the scan consumes.
+	partial := device.Alloc[int64](a, tiles*numKeys)
+	scratch := device.Alloc[int64](a, tiles*numKeys)
+	d.LaunchBlocks(phase, tiles*bs, func(t, _, _ int) {
+		lo, hi := tileBounds(t, n)
+		h := scratch[t*numKeys : (t+1)*numKeys]
+		for i := lo; i < hi; i++ {
+			h[keys[i]]++
+		}
+		for k := 0; k < numKeys; k++ {
+			partial[k*tiles+t] = h[k]
+		}
+	})
+
+	// (2) One exclusive prefix sum yields, for bucket k and tile t, the
+	// tile's first output offset — and, read at t=0, the bucket starts.
+	offs := device.Alloc[int64](a, tiles*numKeys)
+	total := scan.ExclusiveArena(d, a, phase, scan.Sum[int64](), partial, offs)
+	if total != int64(n) {
+		panic(fmt.Sprintf("radix: counting-scatter histogram mismatch: %d of %d", total, n))
+	}
+	for k := 0; k < numKeys; k++ {
+		starts[k] = offs[k*tiles]
+		end := int64(n)
+		if k+1 < numKeys {
+			end = offs[(k+1)*tiles]
+		}
+		hist[k] = end - starts[k]
+	}
+
+	// (3) Fused gather-scatter, stable within each tile. The per-tile
+	// cursors come from the arena, not the goroutine stack: numKeys is
+	// dynamic.
+	cursors := device.Alloc[int64](a, tiles*numKeys)
+	d.LaunchBlocks(phase, tiles*bs, func(t, _, _ int) {
+		lo, hi := tileBounds(t, n)
+		cur := cursors[t*numKeys : (t+1)*numKeys]
+		for k := 0; k < numKeys; k++ {
+			cur[k] = offs[k*tiles+t]
+		}
+		switch {
+		case pay.RecsDst != nil && pay.AuxDst != nil:
+			for i := lo; i < hi; i++ {
+				k := keys[i]
+				pos := cur[k]
+				cur[k] = pos + 1
+				pay.SymsDst[pos] = pay.SymsSrc[i]
+				pay.RecsDst[pos] = pay.RecsSrc[i]
+				pay.AuxDst[pos] = pay.AuxSrc[i]
+			}
+		case pay.RecsDst != nil:
+			for i := lo; i < hi; i++ {
+				k := keys[i]
+				pos := cur[k]
+				cur[k] = pos + 1
+				pay.SymsDst[pos] = pay.SymsSrc[i]
+				pay.RecsDst[pos] = pay.RecsSrc[i]
+			}
+		case pay.AuxDst != nil:
+			for i := lo; i < hi; i++ {
+				k := keys[i]
+				pos := cur[k]
+				cur[k] = pos + 1
+				pay.SymsDst[pos] = pay.SymsSrc[i]
+				pay.AuxDst[pos] = pay.AuxSrc[i]
+			}
+		default:
+			for i := lo; i < hi; i++ {
+				k := keys[i]
+				pos := cur[k]
+				cur[k] = pos + 1
+				pay.SymsDst[pos] = pay.SymsSrc[i]
+			}
+		}
+	})
+	return hist, starts
+}
+
 // Gather permutes src into dst by perm: dst[i] = src[perm[i]]. It is the
 // payload-movement kernel: symbols and record-tags are moved along with
 // the sort key (§3.3) by gathering through the sort permutation.

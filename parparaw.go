@@ -130,6 +130,17 @@ type Options struct {
 	// DetectEncoding sniffs a byte-order mark, sets Encoding
 	// accordingly, and strips the BOM before parsing.
 	DetectEncoding bool
+	// SplitTables disables the fused byte-indexed DFA tables compiled
+	// for the parse kernels, falling back to the original split lookups
+	// (byte → symbol group, then (group, state) → next state and
+	// emission). Output is identical; this exists for the
+	// fused-vs-split ablation and as the fuzzers' reference path.
+	SplitTables bool
+	// NoSkipAhead disables the interesting-byte skip-ahead fast path
+	// that scans over runs of plain data bytes eight at a time. Output
+	// is identical; this exists for the skipahead-on/off ablation and
+	// as the fuzzers' reference path.
+	NoSkipAhead bool
 }
 
 // Encoding identifies the input's symbol encoding (§4.2).
@@ -270,6 +281,8 @@ func (o Options) internal(trailing core.TrailingMode) core.Options {
 		Validate:           o.Validate,
 		Trailing:           trailing,
 		DetectEncoding:     o.DetectEncoding,
+		SplitTables:        o.SplitTables,
+		NoSkipAhead:        o.NoSkipAhead,
 	}
 	copts.Encoding = o.Encoding.internal()
 	if o.Format != nil {
