@@ -68,8 +68,12 @@ func BenchmarkParse(b *testing.B) {
 
 // benchWorkload is the tracked per-workload parse benchmark body: MB/s
 // is the paper's headline metric, allocs/op the GC-pressure trajectory,
-// device-bytes the peak arena footprint. The arena is reused across
-// iterations, as a steady-state ingest service would hold it.
+// device-bytes the peak arena footprint, and convert-ns the convert
+// phase's device time (the stage the ConvertWorkers pool and the
+// dirty-alloc scatter target; under a worker pool it sums concurrent
+// launch durations, i.e. device work rather than wall time). The arena
+// is reused across iterations, as a steady-state ingest service would
+// hold it.
 func benchWorkload(b *testing.B, spec workload.Spec, opts core.Options) {
 	input := spec.Generate(benchSize, 42)
 	arena := device.NewArena()
@@ -78,6 +82,7 @@ func benchWorkload(b *testing.B, spec workload.Spec, opts core.Options) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	var deviceBytes int64
+	var convertNs float64
 	for i := 0; i < b.N; i++ {
 		arena.Reset()
 		res, err := core.Parse(input, opts)
@@ -85,8 +90,10 @@ func benchWorkload(b *testing.B, spec workload.Spec, opts core.Options) {
 			b.Fatal(err)
 		}
 		deviceBytes = res.Stats.DeviceBytes
+		convertNs += float64(res.Stats.Phases["convert"].Nanoseconds())
 	}
 	b.ReportMetric(float64(deviceBytes), "device-bytes")
+	b.ReportMetric(convertNs/float64(b.N), "convert-ns")
 }
 
 // BenchmarkParseYelp tracks the text-heavy quoted workload (§5.1), the
@@ -111,6 +118,21 @@ func BenchmarkParseSkewed(b *testing.B) {
 	base := workload.Yelp()
 	spec := workload.Skewed(base, benchSize*2/5)
 	benchWorkload(b, spec, core.Options{Schema: base.Schema})
+}
+
+// BenchmarkConvertWorkers sweeps the convert-phase column pool on the
+// convert-heavy taxi workload: workers=1 is the sequential per-column
+// loop, the larger counts overlap whole columns across the device's
+// idle workers. On a single-core host the sweep is necessarily flat;
+// the convert-ns metric still records the stage's device time for the
+// BENCH_*.json trajectory.
+func BenchmarkConvertWorkers(b *testing.B) {
+	spec := workload.Taxi()
+	for _, w := range dedupWorkerCounts(1, 2, device.Default().Workers()) {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			benchWorkload(b, spec, core.Options{Schema: spec.Schema, ConvertWorkers: w})
+		})
+	}
 }
 
 // BenchmarkAblationFastPath quantifies the fused-table and skip-ahead

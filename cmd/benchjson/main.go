@@ -31,6 +31,7 @@ type Result struct {
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	DeviceBytes float64 `json:"device_bytes,omitempty"`
+	ConvertNs   float64 `json:"convert_ns,omitempty"`
 }
 
 func main() {
@@ -105,6 +106,8 @@ func parseBench(r io.Reader) (map[string]Result, error) {
 				res.BytesPerOp = v
 			case "device-bytes":
 				res.DeviceBytes = v
+			case "convert-ns":
+				res.ConvertNs = v
 			}
 		}
 		results[name] = res

@@ -23,9 +23,12 @@ import (
 // An Engine is safe for concurrent use by multiple goroutines. Each
 // call checks a private arena out of the pool for the duration of the
 // run; the simulated device itself is documented safe for concurrent
-// kernel launches. Stats.Phases of overlapping calls share the device's
-// timers, so per-phase durations under concurrency describe the device,
-// not one call.
+// kernel launches. The two concurrency layers compose: a run's convert
+// stage may itself fan out over Options.ConvertWorkers goroutines, each
+// working on a shard of that run's checked-out arena, while other calls
+// run on their own arenas. Stats.Phases of overlapping calls share the
+// device's timers, so per-phase durations under concurrency describe
+// the device, not one call.
 type Engine struct {
 	plan   *core.Plan
 	arenas sync.Pool // of *device.Arena

@@ -12,29 +12,37 @@ import (
 	"repro/internal/baseline"
 )
 
-// FuzzStreamReader parses the same bytes twice — whole-input Parse and
-// StreamReader with a fuzzed partition size and chunk size — and
-// asserts identical tables: partition boundaries, carry-over, and the
-// reader chunking must be invisible in the output. The schema is
-// pinned from the whole-input parse so per-partition type inference
-// (documented to see only the first partition) does not enter the
-// comparison.
-func FuzzStreamReader(f *testing.F) {
-	f.Add([]byte("a,b\nc,d\n"), uint16(5), uint8(31))
-	f.Add([]byte(`1,"x,y",2`+"\n"), uint16(3), uint8(7))
-	f.Add([]byte("\"q\"\"q\",\"multi\nline\"\n"), uint16(8), uint8(4))
-	f.Add([]byte("no trailing newline"), uint16(6), uint8(64))
-	f.Add([]byte("\"unterminated"), uint16(2), uint8(5))
-	f.Add([]byte("wide,record,with,many,columns\nshort\n"), uint16(9), uint8(16))
+// convertWorkersFromFuzz maps a fuzzed byte onto the convert worker
+// counts worth exercising: the sequential loop, the smallest real pool,
+// and a pool wider than most fuzzed inputs have columns.
+func convertWorkersFromFuzz(raw uint8) int {
+	return []int{1, 2, 4}[raw%3]
+}
 
-	f.Fuzz(func(t *testing.T, input []byte, partRaw uint16, chunkRaw uint8) {
+// FuzzStreamReader parses the same bytes twice — whole-input Parse and
+// StreamReader with a fuzzed partition size, chunk size, and convert
+// worker count — and asserts identical tables: partition boundaries,
+// carry-over, the reader chunking, and the convert pool must all be
+// invisible in the output. The schema is pinned from the whole-input
+// parse so per-partition type inference (documented to see only the
+// first partition) does not enter the comparison.
+func FuzzStreamReader(f *testing.F) {
+	f.Add([]byte("a,b\nc,d\n"), uint16(5), uint8(31), uint8(0))
+	f.Add([]byte(`1,"x,y",2`+"\n"), uint16(3), uint8(7), uint8(1))
+	f.Add([]byte("\"q\"\"q\",\"multi\nline\"\n"), uint16(8), uint8(4), uint8(2))
+	f.Add([]byte("no trailing newline"), uint16(6), uint8(64), uint8(1))
+	f.Add([]byte("\"unterminated"), uint16(2), uint8(5), uint8(0))
+	f.Add([]byte("wide,record,with,many,columns\nshort\n"), uint16(9), uint8(16), uint8(2))
+
+	f.Fuzz(func(t *testing.T, input []byte, partRaw uint16, chunkRaw, workersRaw uint8) {
 		partSize := int(partRaw%256) + 1
 		chunk := int(chunkRaw%64) + 1
-		whole, err := Parse(input, Options{ChunkSize: chunk})
+		workers := convertWorkersFromFuzz(workersRaw)
+		whole, err := Parse(input, Options{ChunkSize: chunk, ConvertWorkers: workers})
 		if err != nil {
 			t.Fatalf("Parse failed on %q: %v", input, err)
 		}
-		opts := Options{ChunkSize: chunk, Schema: whole.Table.Schema()}
+		opts := Options{ChunkSize: chunk, Schema: whole.Table.Schema(), ConvertWorkers: workers}
 		streamed, err := StreamReader(bytes.NewReader(input), StreamOptions{
 			Options:       opts,
 			PartitionSize: partSize,
@@ -47,44 +55,49 @@ func FuzzStreamReader(f *testing.F) {
 		if err != nil {
 			t.Fatalf("Combined failed on %q: %v", input, err)
 		}
-		// Re-parse with the pinned schema so both sides materialise
-		// through the same column types.
+		// Re-parse with the pinned schema — and the sequential convert
+		// loop — so the streamed parallel-convert output is checked
+		// against the reference path's materialisation.
+		opts.ConvertWorkers = 1
 		want, err := Parse(input, opts)
 		if err != nil {
 			t.Fatalf("re-Parse failed on %q: %v", input, err)
 		}
 		if combined.NumRows() != want.Table.NumRows() {
-			t.Fatalf("rows %d vs %d on %q (part=%d, chunk=%d)",
-				combined.NumRows(), want.Table.NumRows(), input, partSize, chunk)
+			t.Fatalf("rows %d vs %d on %q (part=%d, chunk=%d, workers=%d)",
+				combined.NumRows(), want.Table.NumRows(), input, partSize, chunk, workers)
 		}
 		a, b := tableRows(combined), tableRows(want.Table)
 		for i := range a {
 			if a[i] != b[i] {
-				t.Fatalf("row %d: %q vs %q on %q (part=%d, chunk=%d)",
-					i, a[i], b[i], input, partSize, chunk)
+				t.Fatalf("row %d: %q vs %q on %q (part=%d, chunk=%d, workers=%d)",
+					i, a[i], b[i], input, partSize, chunk, workers)
 			}
 		}
 	})
 }
 
 func FuzzParse(f *testing.F) {
-	f.Add([]byte("a,b\nc,d\n"), uint8(31), uint8(0))
-	f.Add([]byte(`1,"x,y",2`+"\n"), uint8(7), uint8(1))
-	f.Add([]byte("\"q\"\"q\",\"multi\nline\"\n"), uint8(4), uint8(2))
-	f.Add([]byte(",,\n,,\n"), uint8(16), uint8(3))
-	f.Add([]byte("no trailing newline"), uint8(64), uint8(0))
-	f.Add([]byte("\"unterminated"), uint8(5), uint8(1))
-	f.Add([]byte{0xFF, 0x00, 0x7F, '\n'}, uint8(8), uint8(2))
+	f.Add([]byte("a,b\nc,d\n"), uint8(31), uint8(0), uint8(0))
+	f.Add([]byte(`1,"x,y",2`+"\n"), uint8(7), uint8(1), uint8(1))
+	f.Add([]byte("\"q\"\"q\",\"multi\nline\"\n"), uint8(4), uint8(2), uint8(2))
+	f.Add([]byte(",,\n,,\n"), uint8(16), uint8(3), uint8(1))
+	f.Add([]byte("no trailing newline"), uint8(64), uint8(0), uint8(2))
+	f.Add([]byte("\"unterminated"), uint8(5), uint8(1), uint8(0))
+	f.Add([]byte{0xFF, 0x00, 0x7F, '\n'}, uint8(8), uint8(2), uint8(1))
 
-	f.Fuzz(func(t *testing.T, input []byte, chunkRaw, fastRaw uint8) {
+	f.Fuzz(func(t *testing.T, input []byte, chunkRaw, fastRaw, workersRaw uint8) {
 		chunk := int(chunkRaw%64) + 1
-		// fastRaw toggles the fused-table and skip-ahead fast paths, so
-		// the sequential oracle below catches any divergence between the
-		// fast and split per-byte paths.
+		// fastRaw toggles the fused-table and skip-ahead fast paths and
+		// workersRaw sweeps the convert pool, so the sequential oracle
+		// below catches any divergence between the fast and split
+		// per-byte paths and any nondeterminism in the parallel convert
+		// stage.
 		res, err := Parse(input, Options{
-			ChunkSize:   chunk,
-			SplitTables: fastRaw&1 != 0,
-			NoSkipAhead: fastRaw&2 != 0,
+			ChunkSize:      chunk,
+			SplitTables:    fastRaw&1 != 0,
+			NoSkipAhead:    fastRaw&2 != 0,
+			ConvertWorkers: convertWorkersFromFuzz(workersRaw),
 		})
 		if err != nil {
 			t.Fatalf("Parse failed on %q: %v", input, err)

@@ -30,10 +30,12 @@ type Policy struct {
 // Field k of the index corresponds to record k (guaranteed by the
 // record-tagged index construction, and by the constant-columns
 // requirement of the inline/vector modes, §4.1). rejected, when non-nil,
-// is the shared per-record reject vector of Figure 5; it must only be
-// written by one column at a time (the pipeline converts columns in
-// sequence, each internally parallel, exactly like the per-column kernel
-// launches in the paper).
+// is a per-record reject vector in the sense of Figure 5; it must only
+// be written through one Materialize call at a time. The sequential
+// convert loop passes the run's shared vector directly; the parallel
+// convert stage gives each worker a private shadow vector and OR-merges
+// the shadows afterwards, which preserves that contract under
+// concurrent column work.
 func Materialize(d *device.Device, phase string, col *css.Column, ix *css.Index, field columnar.Field, pol Policy, rejected []bool) (*columnar.Column, error) {
 	n := ix.NumFields()
 	b := columnar.NewBuilder(field, n)

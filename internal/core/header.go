@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/device"
 	"repro/internal/dfa"
 )
 
@@ -11,27 +12,54 @@ import (
 // is the paper's distinction between rows and records (§4.3 "Skipping
 // rows": "rows are different from records, as some records may span
 // multiple rows"); that is why the pruning happens in an initial pass
-// before the pipeline, where context is not yet known.
+// before the pipeline, where context is not yet known — a record
+// delimiter inside a quoted field still terminates a row here. The scan
+// reuses the record-delimiter RunScanner machinery, so skipped rows cost
+// one SWAR test per 8 bytes instead of a byte-at-a-time walk.
 func pruneRows(input []byte, m *dfa.Machine, skip int) []byte {
-	delim := recordDelimByte(m)
-	for skip > 0 && len(input) > 0 {
-		cut := indexByte(input, delim)
-		if cut < 0 {
+	if skip <= 0 {
+		return input
+	}
+	sc := device.NewRunScanner([]byte{recordDelimByte(m)})
+	n := len(input)
+	i := 0
+	for skip > 0 && i < n {
+		cut := sc.Next(input, i, n)
+		if cut >= n {
 			return nil
 		}
-		input = input[cut+1:]
+		i = cut + 1
 		skip--
 	}
-	return input
+	return input[i:]
 }
 
 // splitHeader consumes the input's first record — with full parsing
 // context, so quoted headers containing delimiters work — and returns the
-// field names plus the remaining input.
+// field names plus the remaining input. Like the emission kernel, it
+// steps the DFA only on interesting bytes: in states whose catch-all
+// transition is a data-emitting self-loop (inside a quoted or unquoted
+// header field), the per-state skip scanner locates the next structural
+// byte and the run in between is appended to the current name in bulk.
 func splitHeader(m *dfa.Machine, input []byte) (names []string, rest []byte, err error) {
 	s := m.Start()
+	skip := m.SkipScanners()
 	var cur []byte
-	for i := 0; i < len(input); i++ {
+	n := len(input)
+	for i := 0; i < n; i++ {
+		if skip != nil {
+			if sc := skip[s]; sc != nil {
+				if j := sc.Next(input, i, n); j > i {
+					// Every skipped byte is a data-emitting self-loop:
+					// same state, no delimiter, part of the field value.
+					cur = append(cur, input[i:j]...)
+					i = j
+					if i >= n {
+						break
+					}
+				}
+			}
+		}
 		next, e := m.Step(s, input[i])
 		switch {
 		case e.IsRecordDelim():
@@ -65,13 +93,4 @@ func recordDelimByte(m *dfa.Machine) byte {
 		return '\n'
 	}
 	return syms[0]
-}
-
-func indexByte(b []byte, c byte) int {
-	for i, x := range b {
-		if x == c {
-			return i
-		}
-	}
-	return -1
 }

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/dfa"
+)
+
+// pruneRowsReference is the byte-at-a-time oracle for the SWAR-scanned
+// pruneRows: rows are raw lines split at the record-delimiter byte
+// without parsing context (§4.3).
+func pruneRowsReference(input []byte, delim byte, skip int) []byte {
+	for skip > 0 && len(input) > 0 {
+		cut := bytes.IndexByte(input, delim)
+		if cut < 0 {
+			return nil
+		}
+		input = input[cut+1:]
+		skip--
+	}
+	return input
+}
+
+func TestPruneRowsQuotedNewlines(t *testing.T) {
+	m := dfa.RFC4180()
+	// The newline inside the quoted field IS a row boundary for row
+	// skipping: rows are context-free lines, records are not (§4.3).
+	input := []byte("a,\"x\ny\"\nb\n")
+	got := pruneRows(input, m, 1)
+	if want := "y\"\nb\n"; string(got) != want {
+		t.Fatalf("skip 1 = %q, want %q (quoted newline must count as a row boundary)", got, want)
+	}
+	if got := pruneRows(input, m, 3); string(got) != "" {
+		t.Fatalf("skip 3 = %q, want empty", got)
+	}
+	if got := pruneRows(input, m, 4); len(got) != 0 {
+		t.Fatalf("skip past the input = %q, want empty", got)
+	}
+	// A final row without its delimiter cannot be skipped: nil.
+	if got := pruneRows([]byte("a\nunterminated"), m, 2); got != nil {
+		t.Fatalf("skip into unterminated row = %q, want nil", got)
+	}
+}
+
+// TestPruneRowsMatchesReference sweeps delimiter positions across SWAR
+// window alignments (the scanner consumes 8-byte windows with a
+// membership-set tail) against the per-byte oracle.
+func TestPruneRowsMatchesReference(t *testing.T) {
+	m := dfa.RFC4180()
+	for pad := 0; pad < 18; pad++ {
+		for rows := 1; rows <= 3; rows++ {
+			var b bytes.Buffer
+			for r := 0; r < rows; r++ {
+				b.WriteString(strings.Repeat("x", pad))
+				b.WriteByte('\n')
+			}
+			b.WriteString("tail")
+			input := b.Bytes()
+			for skip := 0; skip <= rows+1; skip++ {
+				got := pruneRows(input, m, skip)
+				want := pruneRowsReference(input, '\n', skip)
+				if !bytes.Equal(got, want) || (got == nil) != (want == nil) {
+					t.Fatalf("pad=%d rows=%d skip=%d: %q (nil=%v), want %q (nil=%v)",
+						pad, rows, skip, got, got == nil, want, want == nil)
+				}
+			}
+		}
+	}
+}
+
+func TestSplitHeaderQuotedNewline(t *testing.T) {
+	m := dfa.RFC4180()
+	// Header fields with embedded delimiters, newlines, and escaped
+	// quotes: splitHeader parses with full context, unlike pruneRows.
+	input := []byte("\"col,1\",\"col\n2\",\"he said \"\"hi\"\"\"\nrest,of,input\n")
+	names, rest, err := splitHeader(m, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"col,1", "col\n2", `he said "hi"`}
+	if len(names) != len(want) {
+		t.Fatalf("names = %q, want %q", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("name %d = %q, want %q", i, names[i], want[i])
+		}
+	}
+	if string(rest) != "rest,of,input\n" {
+		t.Fatalf("rest = %q", rest)
+	}
+}
+
+// TestSplitHeaderSkipAheadParity pins that the bulk-skip path and the
+// per-byte split path produce identical headers on long runs (where the
+// skip scanner actually engages), unterminated headers, and invalid
+// inputs.
+func TestSplitHeaderSkipAheadParity(t *testing.T) {
+	inputs := [][]byte{
+		[]byte(strings.Repeat("a", 100) + "," + strings.Repeat("b", 7) + "\nx\n"),
+		[]byte("\"" + strings.Repeat("q", 50) + "\n" + strings.Repeat("r", 50) + "\",tail\nrest"),
+		[]byte("no trailing newline at all"),
+		[]byte("ends,mid,quote,\"" + strings.Repeat("z", 20)),
+		[]byte("\"q\"x,invalid after close quote\n"), // invalid transition
+		[]byte(""),
+		[]byte(","),
+		[]byte("\n"),
+	}
+	fast := dfa.RFC4180()
+	slow := fast.SetFastPath(false, false) // per-byte reference path
+	for _, input := range inputs {
+		fn, fr, ferr := splitHeader(fast, input)
+		sn, sr, serr := splitHeader(slow, input)
+		if (ferr != nil) != (serr != nil) {
+			t.Fatalf("%q: err %v vs %v", input, ferr, serr)
+		}
+		if ferr != nil {
+			if ferr.Error() != serr.Error() {
+				t.Fatalf("%q: error text %q vs %q", input, ferr, serr)
+			}
+			continue
+		}
+		if len(fn) != len(sn) {
+			t.Fatalf("%q: %d names vs %d", input, len(fn), len(sn))
+		}
+		for i := range fn {
+			if fn[i] != sn[i] {
+				t.Fatalf("%q: name %d %q vs %q", input, i, fn[i], sn[i])
+			}
+		}
+		if !bytes.Equal(fr, sr) {
+			t.Fatalf("%q: rest %q vs %q", input, fr, sr)
+		}
+	}
+}

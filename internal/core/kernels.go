@@ -10,6 +10,8 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/bitmap"
 	"repro/internal/columnar"
@@ -200,14 +202,18 @@ func (p *pipeline) partitionScatter() error {
 	if p.Mode == css.InlineTerminated {
 		pay.SymsSrc = p.tags.rewrite
 	}
-	p.sortedSyms = device.Alloc[byte](p.Arena, n)
+	// The scatter is a permutation: every output position of every
+	// payload stream is written exactly once, so the sorted buffers skip
+	// the recycled-memory zeroing (the memclr was ~7% of a steady-state
+	// taxi parse).
+	p.sortedSyms = device.AllocDirty[byte](p.Arena, n)
 	pay.SymsDst = p.sortedSyms
 	if p.Mode == css.RecordTagged {
-		p.sortedRecs = device.Alloc[uint32](p.Arena, n)
+		p.sortedRecs = device.AllocDirty[uint32](p.Arena, n)
 		pay.RecsDst, pay.RecsSrc = p.sortedRecs, p.tags.recTags
 	}
 	if p.Mode == css.VectorDelimited {
-		p.sortedAux = device.Alloc[bool](p.Arena, n)
+		p.sortedAux = device.AllocDirty[bool](p.Arena, n)
 		pay.AuxDst, pay.AuxSrc = p.sortedAux, p.tags.aux
 	}
 	p.hist, p.colStart = radix.CountingScatterArena(d, p.Arena, "partition", p.tags.colTags, numKeys, pay)
@@ -216,47 +222,45 @@ func (p *pipeline) partitionScatter() error {
 }
 
 // convertColumns is the convert phase (§3.3): per-column CSS index
-// construction and typed columnar materialisation. Output buffers come
-// from the Go heap — they outlive the run — while index and inference
-// temporaries stay on the arena.
+// construction, type inference, and typed columnar materialisation.
+// Output buffers come from the Go heap — they outlive the run — while
+// index and inference temporaries stay on the arena.
+//
+// Columns are independent of each other (each reads its own slice of the
+// sorted payloads and writes its own output column), so the phase runs
+// them on a pool of Options.ConvertWorkers goroutines — the CPU
+// substitute for the paper's block-level collaboration across a column's
+// field-materialisation kernels: where the GPU fills its cores from
+// within one column's launch, the simulated device additionally overlaps
+// whole columns to keep its workers busy between the per-column kernel
+// launches. Each worker draws device memory from its own arena shard and
+// records rejects in a private shadow vector; shards drain and shadows
+// OR-merge after the pool joins, so the output — column order, schema,
+// and the rejected bitmap — is byte-identical to the sequential loop.
+// In modelled-time mode the columns stay sequential: the paper's kernel
+// launches serialise on the device stream, and the modelled makespans
+// assume each launch has the whole virtual device.
 func (p *pipeline) convertColumns() error {
-	d := p.Device
 	outFields := p.outputFields(p.headerNames)
 	columns := make([]*columnar.Column, len(p.selected))
-	for out, orig := range p.selected {
-		lo, hi := p.colStart[out], p.colStart[out]+p.hist[out]
-		cssCol := &css.Column{
-			Mode:       p.Mode,
-			Data:       p.sortedSyms[lo:hi],
-			Terminator: p.Terminator,
+
+	workers := p.ConvertWorkers
+	if workers > len(p.selected) {
+		workers = len(p.selected)
+	}
+	if p.Device.ModelledTime() {
+		workers = 1
+	}
+	if workers <= 1 {
+		for out, orig := range p.selected {
+			col, err := p.convertColumn(out, orig, p.Arena, outFields, p.rejected)
+			if err != nil {
+				return err
+			}
+			columns[out] = col
 		}
-		if p.sortedRecs != nil {
-			cssCol.RecTags = p.sortedRecs[lo:hi]
-		}
-		if p.sortedAux != nil {
-			cssCol.Aux = p.sortedAux[lo:hi]
-		}
-		ix, err := cssCol.BuildIndexArena(d, p.Arena, "convert", int(p.numOutRecords))
-		if err != nil {
-			return err
-		}
-		if err := p.alignIndex(cssCol, ix, out); err != nil {
-			return err
-		}
-		field := outFields[out]
-		if p.Schema == nil {
-			field.Type = convert.InferColumnArena(d, p.Arena, "convert", cssCol, ix).Type()
-			outFields[out] = field
-		}
-		pol := convert.Policy{RejectOnError: p.RejectMalformed}
-		if def, ok := p.DefaultValues[orig]; ok {
-			pol.Default = []byte(def)
-		}
-		col, err := convert.Materialize(d, "convert", cssCol, ix, field, pol, p.rejected)
-		if err != nil {
-			return err
-		}
-		columns[out] = col
+	} else if err := p.convertColumnsParallel(workers, outFields, columns); err != nil {
+		return err
 	}
 
 	rejected := p.rejected
@@ -268,6 +272,114 @@ func (p *pipeline) convertColumns() error {
 		return err
 	}
 	p.table = table
+	return nil
+}
+
+// convertColumn converts one output column: CSS slice, index, inferred
+// or fixed type, materialisation. arena supplies the device memory (the
+// run arena in the sequential path, a worker's shard in the parallel
+// one); rejected receives reject-on-error bits (the shared vector in the
+// sequential path, a worker-private shadow in the parallel one).
+func (p *pipeline) convertColumn(out, orig int, arena *device.Arena, outFields []columnar.Field, rejected []bool) (*columnar.Column, error) {
+	d := p.Device
+	lo, hi := p.colStart[out], p.colStart[out]+p.hist[out]
+	cssCol := &css.Column{
+		Mode:       p.Mode,
+		Data:       p.sortedSyms[lo:hi],
+		Terminator: p.Terminator,
+	}
+	if p.sortedRecs != nil {
+		cssCol.RecTags = p.sortedRecs[lo:hi]
+	}
+	if p.sortedAux != nil {
+		cssCol.Aux = p.sortedAux[lo:hi]
+	}
+	ix, err := cssCol.BuildIndexArena(d, arena, "convert", int(p.numOutRecords))
+	if err != nil {
+		return nil, err
+	}
+	if err := p.alignIndex(cssCol, ix, out); err != nil {
+		return nil, err
+	}
+	field := outFields[out]
+	if p.Schema == nil {
+		field.Type = convert.InferColumnArena(d, arena, "convert", cssCol, ix).Type()
+		outFields[out] = field
+	}
+	pol := convert.Policy{RejectOnError: p.RejectMalformed}
+	if def, ok := p.DefaultValues[orig]; ok {
+		pol.Default = []byte(def)
+	}
+	return convert.Materialize(d, "convert", cssCol, ix, field, pol, rejected)
+}
+
+// convertColumnsParallel runs the per-column convert work on a pool of
+// workers claiming columns from a shared counter. Determinism does not
+// depend on the claim order: every column writes only its own slots of
+// columns/outFields, reject bits OR-merge (commutative), and on error
+// the lowest-indexed failing column wins regardless of which worker hit
+// it first — exactly the error the sequential loop would have stopped
+// at. Columns above the lowest known failure are skipped (their output
+// would be discarded and they cannot change the returned error), so a
+// failing parse does not pay for the whole convert stage.
+func (p *pipeline) convertColumnsParallel(workers int, outFields []columnar.Field, columns []*columnar.Column) error {
+	var next atomic.Int64
+	var minFailed atomic.Int64
+	minFailed.Store(int64(len(p.selected)))
+	errs := make([]error, len(p.selected))
+	shadows := make([][]bool, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			shard := p.Arena.Shard()
+			defer shard.Drain()
+			var shadow []bool
+			if p.rejected != nil && p.RejectMalformed {
+				// The shadow is arena-backed: Drain keeps it live until
+				// the run's Reset, well past the merge below.
+				shadow = device.Alloc[bool](shard, int(p.numOutRecords))
+				shadows[w] = shadow
+			}
+			for {
+				out := int(next.Add(1)) - 1
+				if out >= len(p.selected) {
+					return
+				}
+				if int64(out) > minFailed.Load() {
+					continue
+				}
+				col, err := p.convertColumn(out, p.selected[out], shard, outFields, shadow)
+				if err != nil {
+					errs[out] = err
+					for {
+						cur := minFailed.Load()
+						if int64(out) >= cur || minFailed.CompareAndSwap(cur, int64(out)) {
+							break
+						}
+					}
+					continue
+				}
+				columns[out] = col
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	if p.rejected != nil {
+		for _, shadow := range shadows {
+			for i, r := range shadow {
+				if r {
+					p.rejected[i] = true
+				}
+			}
+		}
+	}
 	return nil
 }
 

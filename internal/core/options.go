@@ -15,6 +15,7 @@
 package core
 
 import (
+	"runtime"
 	"time"
 
 	"repro/internal/columnar"
@@ -105,6 +106,16 @@ type Options struct {
 	// forcing per-byte stepping even through runs of plain data bytes —
 	// the skipahead-on/off ablation axis.
 	NoSkipAhead bool
+	// ConvertWorkers is the number of concurrent column workers of the
+	// convert phase (§3.3): index construction, type inference, and
+	// materialisation of distinct columns run on a pool of this many
+	// goroutines, each drawing device memory from its own arena shard.
+	// 0 means runtime.GOMAXPROCS(0); 1 forces the sequential per-column
+	// loop. Output is byte-identical at every setting (the parity
+	// harness and fuzzers pin this). In modelled-time mode
+	// (Config.VirtualWorkers) the convert stage always runs its columns
+	// sequentially, matching the paper's serialised kernel launches.
+	ConvertWorkers int
 	// Trailing controls what happens to input after the last record
 	// delimiter. TrailingRecord (default) parses it as one final record;
 	// TrailingRemainder excludes it and reports its size in
@@ -151,6 +162,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Terminator == 0 {
 		o.Terminator = css.DefaultTerminator
+	}
+	if o.ConvertWorkers <= 0 {
+		o.ConvertWorkers = runtime.GOMAXPROCS(0)
 	}
 	return o
 }

@@ -34,6 +34,9 @@ type Plan struct {
 // chunk size — are reported here, so a service can reject a bad
 // configuration before accepting traffic for it.
 func Compile(opts Options) (*Plan, error) {
+	if opts.ConvertWorkers < 0 {
+		return nil, fmt.Errorf("core: ConvertWorkers %d is negative", opts.ConvertWorkers)
+	}
 	o := opts.withDefaults()
 	o.Arena = nil // the arena is a per-execution resource (Exec.Arena)
 	seen := make(map[int]bool, len(o.SelectColumns))

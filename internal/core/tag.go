@@ -42,12 +42,21 @@ type tagBuffers struct {
 // count deviates from the expected count (when RejectInconsistent).
 func (p *pipeline) tagSymbols() []bool {
 	n := len(p.input)
-	t := &tagBuffers{colTags: device.Alloc[uint32](p.Arena, n)}
+	// colTags is fully written below — every data run is bulk-filled and
+	// every structural byte hits a switch branch — so it skips the
+	// recycled-memory zeroing. recTags (written on data runs only) and
+	// rewrite (written on data runs and record/field delimiters, but NOT
+	// on plain control bytes like quotes) may keep stale bytes at their
+	// unwritten positions: those positions always carry the sentinel
+	// column tag, so the scatter moves them into the never-read sentinel
+	// bucket. aux must stay zeroed: data positions rely on the implicit
+	// false (only delimiters are marked).
+	t := &tagBuffers{colTags: device.AllocDirty[uint32](p.Arena, n)}
 	switch p.Mode {
 	case css.RecordTagged:
-		t.recTags = device.Alloc[uint32](p.Arena, n)
+		t.recTags = device.AllocDirty[uint32](p.Arena, n)
 	case css.InlineTerminated:
-		t.rewrite = device.Alloc[byte](p.Arena, n)
+		t.rewrite = device.AllocDirty[byte](p.Arena, n)
 	case css.VectorDelimited:
 		t.aux = device.Alloc[bool](p.Arena, n)
 	}

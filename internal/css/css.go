@@ -97,7 +97,10 @@ func (c *Column) BuildIndex(d *device.Device, phase string, numRecords int) (*In
 
 // BuildIndexArena is BuildIndex with the index buffers and scan
 // temporaries drawn from the device arena. The returned index is
-// arena-owned: valid until the arena is reset.
+// arena-owned: valid until the arena is reset. Distinct columns may
+// build their indexes concurrently as long as each call uses its own
+// arena (the parallel convert stage passes one arena shard per worker);
+// the column itself is read-only here.
 func (c *Column) BuildIndexArena(d *device.Device, a *device.Arena, phase string, numRecords int) (*Index, error) {
 	switch c.Mode {
 	case RecordTagged:

@@ -96,6 +96,14 @@ type Options struct {
 	// list-scheduled onto the virtual cores). This is the reproduction
 	// substitute for the paper's 3 584-core GPU on hosts with few CPUs.
 	VirtualWorkers int
+	// ConvertWorkers is the number of concurrent column workers of the
+	// convert phase (§3.3): distinct columns' index construction, type
+	// inference, and materialisation overlap on a pool of this many
+	// goroutines. 0 uses all available CPUs; 1 forces the sequential
+	// per-column loop. Output is byte-identical at every setting. In
+	// modelled-time mode (VirtualWorkers) the convert phase always runs
+	// sequentially, matching the paper's serialised kernel launches.
+	ConvertWorkers int
 	// SkipRows prunes the first n raw lines before parsing (§4.3).
 	SkipRows int
 	// SelectColumns keeps only the listed column indices, in the given
@@ -283,6 +291,7 @@ func (o Options) internal(trailing core.TrailingMode) core.Options {
 		DetectEncoding:     o.DetectEncoding,
 		SplitTables:        o.SplitTables,
 		NoSkipAhead:        o.NoSkipAhead,
+		ConvertWorkers:     o.ConvertWorkers,
 	}
 	copts.Encoding = o.Encoding.internal()
 	if o.Format != nil {
