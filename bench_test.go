@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"repro/internal/baseline"
+	"repro/internal/convert"
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/dfa"
@@ -134,6 +135,86 @@ func BenchmarkConvertWorkers(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkAblationSWARConvert quantifies the convert phase's SWAR
+// validate-then-convert field parsers against the byte-at-a-time scalar
+// parsers on the full pipeline. taxi (15 numeric/temporal columns) is
+// the target workload; yelp shows the floor when most columns are
+// strings. The convert-ns metric isolates the stage the parsers live
+// in; output is byte-identical on both settings (parity-pinned), so any
+// delta is pure inner-loop cost.
+func BenchmarkAblationSWARConvert(b *testing.B) {
+	variants := []struct {
+		name   string
+		noSWAR bool
+	}{
+		{"swar", false},
+		{"scalar", true},
+	}
+	for _, spec := range benchSpecs {
+		for _, v := range variants {
+			b.Run(fmt.Sprintf("%s/%s", spec.Name, v.name), func(b *testing.B) {
+				benchWorkload(b, spec, core.Options{Schema: spec.Schema, NoSWARConvert: v.noSWAR})
+			})
+		}
+	}
+}
+
+// BenchmarkConvertParsers times each numeric/temporal field parser on
+// representative field shapes, SWAR dispatch vs scalar reference — the
+// per-parser ns trajectory behind the convert phase's device time. Each
+// op parses every field in the shape set once; the ns/field metric
+// (recorded by cmd/benchjson) divides that out.
+func BenchmarkConvertParsers(b *testing.B) {
+	fields := func(ss ...string) [][]byte {
+		out := make([][]byte, len(ss))
+		for i, s := range ss {
+			out[i] = []byte(s)
+		}
+		return out
+	}
+	intFields := fields("142", "-7", "2009", "123456789", "35102")
+	floatFields := fields("1.5", "142.35", "-73.987654", "0.5", "199.99", "12345.678901")
+	tsFields := fields("2009-01-04 02:52:00", "2018-06-15 13:45:09.123456", "1999-12-31T23:59:59.5")
+	dateFields := fields("2009-01-04", "2018-06-15", "1999-12-31")
+
+	runInt := func(b *testing.B, fn func([]byte) (int64, error), fs [][]byte) {
+		b.Helper()
+		var sink int64
+		for i := 0; i < b.N; i++ {
+			for _, f := range fs {
+				v, _ := fn(f)
+				sink += v
+			}
+		}
+		benchSink = sink
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(fs)), "ns/field")
+	}
+	runFloat := func(b *testing.B, fn func([]byte) (float64, error), fs [][]byte) {
+		b.Helper()
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			for _, f := range fs {
+				v, _ := fn(f)
+				sink += v
+			}
+		}
+		benchSink = int64(sink)
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(fs)), "ns/field")
+	}
+
+	b.Run("int64/swar", func(b *testing.B) { runInt(b, convert.ParseInt64, intFields) })
+	b.Run("int64/scalar", func(b *testing.B) { runInt(b, convert.ParseInt64Scalar, intFields) })
+	b.Run("float64/swar", func(b *testing.B) { runFloat(b, convert.ParseFloat64, floatFields) })
+	b.Run("float64/scalar", func(b *testing.B) { runFloat(b, convert.ParseFloat64Scalar, floatFields) })
+	b.Run("timestamp/swar", func(b *testing.B) { runInt(b, convert.ParseTimestampMicros, tsFields) })
+	b.Run("timestamp/scalar", func(b *testing.B) { runInt(b, convert.ParseTimestampMicrosScalar, tsFields) })
+	b.Run("date32/swar", func(b *testing.B) { runInt(b, convert.ParseDate32, dateFields) })
+	b.Run("date32/scalar", func(b *testing.B) { runInt(b, convert.ParseDate32Scalar, dateFields) })
+}
+
+// benchSink defeats dead-code elimination in the parser microbenches.
+var benchSink int64
 
 // BenchmarkAblationFastPath quantifies the fused-table and skip-ahead
 // fast paths per workload: fused+skip (the default), fused without

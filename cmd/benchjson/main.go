@@ -24,7 +24,9 @@ import (
 )
 
 // Result holds the metrics of one benchmark line. Metrics a benchmark
-// does not report are zero and omitted from the JSON.
+// does not report are zero and omitted from the JSON. See README.md
+// ("BENCH_*.json field schema") for what each metric means and which
+// benchmark emits it.
 type Result struct {
 	NsPerOp     float64 `json:"ns_per_op,omitempty"`
 	MBPerS      float64 `json:"mb_per_s,omitempty"`
@@ -32,6 +34,9 @@ type Result struct {
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	DeviceBytes float64 `json:"device_bytes,omitempty"`
 	ConvertNs   float64 `json:"convert_ns,omitempty"`
+	// NsPerField is the per-parser microbench metric
+	// (BenchmarkConvertParsers): nanoseconds per parsed field value.
+	NsPerField float64 `json:"ns_per_field,omitempty"`
 }
 
 func main() {
@@ -108,6 +113,8 @@ func parseBench(r io.Reader) (map[string]Result, error) {
 				res.DeviceBytes = v
 			case "convert-ns":
 				res.ConvertNs = v
+			case "ns/field":
+				res.NsPerField = v
 			}
 		}
 		results[name] = res

@@ -85,18 +85,22 @@ func FuzzParse(f *testing.F) {
 	f.Add([]byte("no trailing newline"), uint8(64), uint8(0), uint8(2))
 	f.Add([]byte("\"unterminated"), uint8(5), uint8(1), uint8(0))
 	f.Add([]byte{0xFF, 0x00, 0x7F, '\n'}, uint8(8), uint8(2), uint8(1))
+	// Numeric/temporal shapes with the SWAR convert paths toggled off
+	// (bit 4), so the round trip crosses the scalar and SWAR parsers.
+	f.Add([]byte("1.5,2018-06-15 13:45:09.5,142.35\n-7,.5,-73.987654\n"), uint8(31), uint8(4), uint8(0))
 
 	f.Fuzz(func(t *testing.T, input []byte, chunkRaw, fastRaw, workersRaw uint8) {
 		chunk := int(chunkRaw%64) + 1
-		// fastRaw toggles the fused-table and skip-ahead fast paths and
-		// workersRaw sweeps the convert pool, so the sequential oracle
-		// below catches any divergence between the fast and split
-		// per-byte paths and any nondeterminism in the parallel convert
-		// stage.
+		// fastRaw toggles the fused-table, skip-ahead, and SWAR-convert
+		// fast paths and workersRaw sweeps the convert pool, so the
+		// sequential oracle below catches any divergence between the
+		// fast and reference paths — per-byte parsing, field conversion
+		// — and any nondeterminism in the parallel convert stage.
 		res, err := Parse(input, Options{
 			ChunkSize:      chunk,
 			SplitTables:    fastRaw&1 != 0,
 			NoSkipAhead:    fastRaw&2 != 0,
+			NoSWARConvert:  fastRaw&4 != 0,
 			ConvertWorkers: convertWorkersFromFuzz(workersRaw),
 		})
 		if err != nil {

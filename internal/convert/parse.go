@@ -20,8 +20,53 @@ var (
 	ErrEmpty    = errors.New("convert: empty field")
 )
 
-// ParseInt64 parses a decimal integer with optional sign.
+// ParseInt64 parses a decimal integer with optional sign. All-digit
+// fields of 8 to 18 digits take the SWAR validate-then-convert fast
+// path (swar.go: one load, one flag test, and a three-multiply
+// conversion per 8-byte window); everything else — short fields where
+// the scalar loop already wins, empty fields, overflow-range
+// magnitudes — resolves on the scalar path. The two paths are bit-exact
+// substitutes: same value, same error, for every input.
 func ParseInt64(b []byte) (int64, error) {
+	body := b
+	if len(b) > 0 && (b[0] == '-' || b[0] == '+') {
+		body = b[1:]
+	}
+	switch n := len(body); {
+	case n >= minFastIntDigits && n <= fastIntDigits:
+		u, ok := digitsValue(body)
+		if !ok {
+			return 0, ErrSyntax // a non-digit byte: exactly the scalar verdict
+		}
+		v := int64(u) // ≤ 18 digits: cannot overflow
+		if b[0] == '-' {
+			v = -v
+		}
+		return v, nil
+	case n > 0 && n < minFastIntDigits:
+		// Short field: the scalar loop wins here, inlined to spare the
+		// extra call. Under 8 digits nothing can overflow, so the loop
+		// needs no per-digit bound check; values and errors still match
+		// the scalar parser exactly.
+		var v int64
+		for _, c := range body {
+			if c < '0' || c > '9' {
+				return 0, ErrSyntax
+			}
+			v = v*10 + int64(c-'0')
+		}
+		if b[0] == '-' {
+			v = -v
+		}
+		return v, nil
+	}
+	return ParseInt64Scalar(b) // empty or sign-only: exact error, or 19+ digits
+}
+
+// ParseInt64Scalar is the byte-at-a-time reference parser: the fallback
+// for shapes the SWAR classifier defers, the oracle of the SWAR/scalar
+// parity suite, and the whole path under Options.NoSWARConvert.
+func ParseInt64Scalar(b []byte) (int64, error) {
 	if len(b) == 0 {
 		return 0, ErrEmpty
 	}
@@ -92,7 +137,88 @@ func scale10(v float64, exp int) float64 {
 // delimiter-separated data; precision is within 1 ULP of the decimal
 // value for the magnitudes such data carries, which is what a GPU-side
 // parser provides as well.
+//
+// The payload shapes take SWAR validate-then-convert fast paths
+// (swar.go): one-word bodies ("1234.567") classify and convert from a
+// single load, two-word bodies ("-73.987654") from two, and longer
+// mantissas of up to 15 digits — with or without an exponent — go
+// through the general eight-bytes-per-test classifier. The remaining
+// shapes resolve on the scalar path: short fields where its per-byte
+// loop already wins, 16+ digit mantissas whose step-by-step rounding
+// the chunked conversion could not reproduce, 4+ digit exponents. All
+// paths are bit-exact substitutes: fast-path magnitudes are exact in
+// both representations and the final scaling step (scale10) is shared,
+// so the single rounding happens identically.
 func ParseFloat64(b []byte) (float64, error) {
+	body, neg := b, false
+	if len(b) > 0 && (b[0] == '-' || b[0] == '+') {
+		neg = b[0] == '-'
+		body = b[1:]
+	}
+	n := len(body)
+	switch {
+	case n >= minFastFloatLen && n <= 8:
+		if v, ok := floatWord1(body, n); ok {
+			if neg {
+				v = -v
+			}
+			return v, nil
+		}
+	case n > 8 && n <= 16:
+		if v, ok := floatWord2(body, n); ok {
+			if neg {
+				v = -v
+			}
+			return v, nil
+		}
+	case n > 0:
+		// Short field ("14.5"): the scalar loop wins here, inlined to
+		// spare the call. The accumulation is the scalar parser's own —
+		// same operations in the same order — so values match bit for
+		// bit; exponents, junk, and digitless bodies defer for the exact
+		// scalar treatment.
+		var mant float64
+		digits, frac := 0, 0
+		seenDot := false
+		for _, c := range body {
+			switch {
+			case c >= '0' && c <= '9':
+				mant = mant*10 + float64(c-'0')
+				digits++
+				if seenDot {
+					frac++
+				}
+			case c == '.' && !seenDot:
+				seenDot = true
+			default:
+				return ParseFloat64Scalar(b)
+			}
+		}
+		if digits == 0 {
+			return 0, ErrSyntax // "." — the scalar verdict
+		}
+		v := scale10(mant, -frac)
+		if neg {
+			v = -v
+		}
+		return v, nil
+	}
+	if n > 8 {
+		// Declined two-word shapes and anything longer: the general
+		// classifier handles exponent forms and word-straddling
+		// mantissas; short declines go straight to the scalar loop.
+		if v, ok := floatClassify(body, neg); ok {
+			return v, nil
+		}
+	}
+	return ParseFloat64Scalar(b)
+}
+
+// ParseFloat64Scalar is the byte-at-a-time reference parser: the
+// fallback for shapes the SWAR classifier defers, the oracle of the
+// SWAR/scalar parity suite, and the whole path under
+// Options.NoSWARConvert.
+func ParseFloat64Scalar(b []byte) (float64, error) {
 	if len(b) == 0 {
 		return 0, ErrEmpty
 	}
@@ -224,7 +350,20 @@ func twoDigits(b []byte) (int, bool) {
 var daysInMonth = [13]int{0, 31, 29, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31}
 
 // ParseDate32 parses "YYYY-MM-DD" into days since the Unix epoch.
+// Well-formed dates validate in two word tests and convert branch-free
+// (swar.go); malformed ones resolve on the scalar path, so values and
+// errors match it byte for byte.
 func ParseDate32(b []byte) (int64, error) {
+	if v, ok := dateWord(b); ok {
+		return v, nil
+	}
+	return ParseDate32Scalar(b)
+}
+
+// ParseDate32Scalar is the byte-at-a-time reference parser behind
+// ParseDate32; see ParseInt64Scalar for the role the scalar variants
+// play.
+func ParseDate32Scalar(b []byte) (int64, error) {
 	if len(b) == 0 {
 		return 0, ErrEmpty
 	}
@@ -254,14 +393,27 @@ func ParseDate32(b []byte) (int64, error) {
 
 // ParseTimestampMicros parses "YYYY-MM-DD HH:MM:SS[.ffffff]" (a 'T'
 // separator is also accepted) into microseconds since the Unix epoch.
+// Well-formed timestamps validate in three word tests and convert
+// branch-free (swar.go); malformed ones resolve on the scalar path, so
+// values and errors match it byte for byte.
 func ParseTimestampMicros(b []byte) (int64, error) {
+	if v, ok := timestampWord(b); ok {
+		return v, nil
+	}
+	return ParseTimestampMicrosScalar(b)
+}
+
+// ParseTimestampMicrosScalar is the byte-at-a-time reference parser
+// behind ParseTimestampMicros; see ParseInt64Scalar for the role the
+// scalar variants play.
+func ParseTimestampMicrosScalar(b []byte) (int64, error) {
 	if len(b) == 0 {
 		return 0, ErrEmpty
 	}
 	if len(b) < 19 || (b[10] != ' ' && b[10] != 'T') {
 		return 0, ErrSyntax
 	}
-	days, err := ParseDate32(b[:10])
+	days, err := ParseDate32Scalar(b[:10])
 	if err != nil {
 		return 0, err
 	}

@@ -29,13 +29,18 @@ func TestParseInt64(t *testing.T) {
 		{" 1", 0, ErrSyntax},
 	}
 	for _, c := range cases {
-		got, err := ParseInt64([]byte(c.in))
-		if err != c.err {
-			t.Errorf("ParseInt64(%q) err = %v, want %v", c.in, err, c.err)
-			continue
-		}
-		if err == nil && got != c.want {
-			t.Errorf("ParseInt64(%q) = %d, want %d", c.in, got, c.want)
+		for _, p := range []struct {
+			name string
+			fn   func([]byte) (int64, error)
+		}{{"ParseInt64", ParseInt64}, {"ParseInt64Scalar", ParseInt64Scalar}} {
+			got, err := p.fn([]byte(c.in))
+			if err != c.err {
+				t.Errorf("%s(%q) err = %v, want %v", p.name, c.in, err, c.err)
+				continue
+			}
+			if err == nil && got != c.want {
+				t.Errorf("%s(%q) = %d, want %d", p.name, c.in, got, c.want)
+			}
 		}
 	}
 }
@@ -65,19 +70,24 @@ func TestParseFloat64(t *testing.T) {
 		{"5.", 5},
 		{"12345678901234", 12345678901234},
 	}
-	for _, c := range cases {
-		got, err := ParseFloat64([]byte(c.in))
-		if err != nil {
-			t.Errorf("ParseFloat64(%q) err = %v", c.in, err)
-			continue
+	for _, p := range []struct {
+		name string
+		fn   func([]byte) (float64, error)
+	}{{"ParseFloat64", ParseFloat64}, {"ParseFloat64Scalar", ParseFloat64Scalar}} {
+		for _, c := range cases {
+			got, err := p.fn([]byte(c.in))
+			if err != nil {
+				t.Errorf("%s(%q) err = %v", p.name, c.in, err)
+				continue
+			}
+			if math.Abs(got-c.want) > math.Abs(c.want)*1e-12 {
+				t.Errorf("%s(%q) = %g, want %g", p.name, c.in, got, c.want)
+			}
 		}
-		if math.Abs(got-c.want) > math.Abs(c.want)*1e-12 {
-			t.Errorf("ParseFloat64(%q) = %g, want %g", c.in, got, c.want)
-		}
-	}
-	for _, bad := range []string{"", ".", "-", "1e", "1e+", "abc", "1.2.3", "--1", "1 "} {
-		if _, err := ParseFloat64([]byte(bad)); err == nil {
-			t.Errorf("ParseFloat64(%q): want error", bad)
+		for _, bad := range []string{"", ".", "-", "1e", "1e+", "abc", "1.2.3", "--1", "1 "} {
+			if _, err := p.fn([]byte(bad)); err == nil {
+				t.Errorf("%s(%q): want error", p.name, bad)
+			}
 		}
 	}
 }
@@ -130,22 +140,30 @@ func TestParseDate32AgainstTime(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, perr := ParseDate32([]byte(s))
-		if perr != nil {
-			t.Errorf("ParseDate32(%q): %v", s, perr)
-			continue
-		}
 		wantDays := want.Unix() / 86400
 		if want.Unix() < 0 && want.Unix()%86400 != 0 {
 			wantDays--
 		}
-		if got != wantDays {
-			t.Errorf("ParseDate32(%q) = %d, want %d", s, got, wantDays)
+		for _, p := range []struct {
+			name string
+			fn   func([]byte) (int64, error)
+		}{{"ParseDate32", ParseDate32}, {"ParseDate32Scalar", ParseDate32Scalar}} {
+			got, perr := p.fn([]byte(s))
+			if perr != nil {
+				t.Errorf("%s(%q): %v", p.name, s, perr)
+				continue
+			}
+			if got != wantDays {
+				t.Errorf("%s(%q) = %d, want %d", p.name, s, got, wantDays)
+			}
 		}
 	}
 	for _, bad := range []string{"", "2018-6-15", "2018/06/15", "2018-13-01", "2018-02-30", "201a-01-01", "2018-01-001"} {
 		if _, err := ParseDate32([]byte(bad)); err == nil {
 			t.Errorf("ParseDate32(%q): want error", bad)
+		}
+		if _, err := ParseDate32Scalar([]byte(bad)); err == nil {
+			t.Errorf("ParseDate32Scalar(%q): want error", bad)
 		}
 	}
 }
@@ -172,18 +190,26 @@ func TestParseTimestampMicrosAgainstTime(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, perr := ParseTimestampMicros([]byte(s))
-		if perr != nil {
-			t.Errorf("ParseTimestampMicros(%q): %v", s, perr)
-			continue
-		}
-		if got != want.UnixMicro() {
-			t.Errorf("ParseTimestampMicros(%q) = %d, want %d", s, got, want.UnixMicro())
+		for _, p := range []struct {
+			name string
+			fn   func([]byte) (int64, error)
+		}{{"ParseTimestampMicros", ParseTimestampMicros}, {"ParseTimestampMicrosScalar", ParseTimestampMicrosScalar}} {
+			got, perr := p.fn([]byte(s))
+			if perr != nil {
+				t.Errorf("%s(%q): %v", p.name, s, perr)
+				continue
+			}
+			if got != want.UnixMicro() {
+				t.Errorf("%s(%q) = %d, want %d", p.name, s, got, want.UnixMicro())
+			}
 		}
 	}
 	for _, bad := range []string{"", "2018-06-15", "2018-06-15 25:00:00", "2018-06-15 13:45", "2018-06-15 13:45:09.", "2018-06-15 13:45:09.1234567"} {
 		if _, err := ParseTimestampMicros([]byte(bad)); err == nil {
 			t.Errorf("ParseTimestampMicros(%q): want error", bad)
+		}
+		if _, err := ParseTimestampMicrosScalar([]byte(bad)); err == nil {
+			t.Errorf("ParseTimestampMicrosScalar(%q): want error", bad)
 		}
 	}
 }

@@ -106,6 +106,13 @@ type Options struct {
 	// forcing per-byte stepping even through runs of plain data bytes —
 	// the skipahead-on/off ablation axis.
 	NoSkipAhead bool
+	// NoSWARConvert forces the convert phase's byte-at-a-time scalar
+	// field parsers, disabling the SWAR validate-then-convert fast paths
+	// (internal/convert/swar.go) — the swar-on/off ablation axis and the
+	// parity/fuzz oracle's reference path. Output is identical either
+	// way: the fast paths are bit-exact substitutes for the scalar
+	// parsers.
+	NoSWARConvert bool
 	// ConvertWorkers is the number of concurrent column workers of the
 	// convert phase (§3.3): index construction, type inference, and
 	// materialisation of distinct columns run on a pool of this many

@@ -62,6 +62,10 @@ type Column struct {
 	// Data is the concatenated symbol string.
 	Data []byte
 	// RecTags holds one record tag per symbol (RecordTagged mode only).
+	// Tags must be non-decreasing — the stable partition preserves
+	// record order within a column, and BuildIndex's run scan (the
+	// 8-symbol gallop and the interior-run plain adds) relies on each
+	// tag occupying one contiguous span.
 	RecTags []uint32
 	// Aux marks delimiter positions in Data (VectorDelimited mode only).
 	Aux []bool
@@ -140,13 +144,34 @@ func indexRecordTagged(d *device.Device, a *device.Arena, phase string, data []b
 		for i < limit {
 			tag := recTags[i]
 			j := i + 1
+			// Tags are non-decreasing (the stable partition preserves
+			// the monotonic record order within a column), so if the tag
+			// eight positions ahead still matches, the whole window
+			// belongs to the run: one comparison covers eight symbols —
+			// the tag-vector analogue of the word-at-a-time
+			// structural-byte consumption in the tag kernel. Long fields
+			// (yelp review text) cost per-window work instead of
+			// per-symbol work; short runs pay one failed probe.
+			for j+8 <= limit && recTags[j+7] == tag {
+				j += 8
+			}
 			for j < limit && recTags[j] == tag {
 				j++
 			}
 			if int(tag) >= numRecords {
 				panic(fmt.Sprintf("css: record tag %d out of range [0,%d)", tag, numRecords))
 			}
-			addInt64(&lengths[tag], int64(j-i))
+			if i == first || j == limit {
+				// A run touching a block edge may continue in the
+				// neighbouring block, which adds its own share to the
+				// same record — merge atomically.
+				addInt64(&lengths[tag], int64(j-i))
+			} else {
+				// Interior run: sortedness means this tag appears in no
+				// other block (everything before the run is smaller,
+				// everything after larger), so the add is exclusive.
+				lengths[tag] += int64(j - i)
+			}
 			i = j
 		}
 	})

@@ -186,6 +186,38 @@ func TestRecordTaggedLargeRandom(t *testing.T) {
 	}
 }
 
+// TestRecordTaggedGallopRuns targets the word-at-a-time run consumption
+// of the record-tag RLE: run lengths straddling every gallop-window
+// boundary (the 8-symbol probe) and runs long enough to span multiple
+// launch blocks must all produce exact lengths — the probe may only
+// skip a window when the whole window provably belongs to the run.
+func TestRecordTaggedGallopRuns(t *testing.T) {
+	lens := []int{1, 7, 8, 9, 15, 16, 17, 23, 24, 25, 63, 64, 65, 1, 2, 3000, 1, 500}
+	var data []byte
+	var tags []uint32
+	for r, l := range lens {
+		for i := 0; i < l; i++ {
+			data = append(data, byte('a'+r%26))
+			tags = append(tags, uint32(r))
+		}
+	}
+	col := &Column{Mode: RecordTagged, Data: data, RecTags: tags}
+	ix, err := col.BuildIndex(dev(), "t", len(lens))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acc int64
+	for r, l := range lens {
+		if ix.Lengths[r] != int64(l) {
+			t.Fatalf("record %d length = %d, want %d", r, ix.Lengths[r], l)
+		}
+		if ix.Starts[r] != acc {
+			t.Fatalf("record %d start = %d, want %d", r, ix.Starts[r], acc)
+		}
+		acc += int64(l)
+	}
+}
+
 // TestInlineLargeRandom cross-checks the mark-based index against a
 // sequential split for inputs larger than one tile.
 func TestInlineLargeRandom(t *testing.T) {

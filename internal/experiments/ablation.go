@@ -25,7 +25,9 @@ import (
 //  5. fused byte-indexed DFA tables vs the split group-then-table
 //     lookups, and the interesting-byte skip-ahead on top of them;
 //  6. the sequential per-column convert loop vs the ConvertWorkers
-//     column pool.
+//     column pool;
+//  7. SWAR validate-then-convert field parsers vs the byte-at-a-time
+//     scalar parsers in the convert phase's materialize inner loops.
 func Ablation(cfg Config) error {
 	if err := ablationContext(cfg); err != nil {
 		return err
@@ -38,7 +40,10 @@ func Ablation(cfg Config) error {
 	if err := ablationFastPath(cfg); err != nil {
 		return err
 	}
-	return ablationConvertWorkers(cfg)
+	if err := ablationConvertWorkers(cfg); err != nil {
+		return err
+	}
+	return ablationConvertInner(cfg)
 }
 
 // ablationContext compares the total *work* (1-core modelled time) and
@@ -183,6 +188,49 @@ func ablationConvertWorkers(cfg Config) error {
 		}
 		fmt.Fprintf(cfg.Out, "workers=%-4d convert(device) %10sms   total(wall) %10sms\n",
 			w, ms(bestConvert), ms(bestWall))
+	}
+	return nil
+}
+
+// ablationConvertInner quantifies the convert phase's materialize inner
+// loops: the SWAR validate-then-convert field parsers (8-bytes-per-test
+// classification, three-multiply digit-chunk conversion) against the
+// byte-at-a-time scalar parsers, on both workloads — taxi is the
+// numeric/temporal-heavy target, yelp shows the floor when most columns
+// are strings. Output is byte-identical on both settings (the parity
+// suite pins it); only the convert phase's per-field cost moves, so the
+// convert device time is the headline column.
+func ablationConvertInner(cfg Config) error {
+	reps := cfg.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	for _, spec := range cfg.specs() {
+		input := spec.Generate(cfg.Size, cfg.Seed)
+		fmt.Fprintf(cfg.Out, "\n[7] convert inner loops: SWAR validate-then-convert vs scalar field parsers (%s, %s)\n",
+			spec.Name, mb(len(input)))
+		for _, v := range []struct {
+			name   string
+			noSWAR bool
+		}{{"swar", false}, {"scalar", true}} {
+			var bestWall, bestConvert time.Duration
+			for r := 0; r < reps; r++ {
+				res, err := core.Parse(input, core.Options{
+					Schema:        spec.Schema,
+					Device:        device.New(device.Config{Workers: cfg.Workers}),
+					NoSWARConvert: v.noSWAR,
+				})
+				if err != nil {
+					return err
+				}
+				if r == 0 || res.Stats.Duration < bestWall {
+					bestWall = res.Stats.Duration
+					bestConvert = res.Stats.Phases["convert"]
+				}
+			}
+			fmt.Fprintf(cfg.Out, "%-8s convert %10sms   total(wall) %10sms\n",
+				v.name, ms(bestConvert), ms(bestWall))
+		}
 	}
 	return nil
 }

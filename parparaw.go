@@ -149,6 +149,13 @@ type Options struct {
 	// is identical; this exists for the skipahead-on/off ablation and
 	// as the fuzzers' reference path.
 	NoSkipAhead bool
+	// NoSWARConvert disables the convert phase's SWAR
+	// validate-then-convert field parsers (eight-bytes-per-test
+	// classification, three-multiply digit-chunk conversion), forcing
+	// the byte-at-a-time scalar parsers instead. Output is identical —
+	// the fast paths are bit-exact substitutes — so this exists for the
+	// swar-on/off ablation and as the fuzzers' reference path.
+	NoSWARConvert bool
 }
 
 // Encoding identifies the input's symbol encoding (§4.2).
@@ -291,6 +298,7 @@ func (o Options) internal(trailing core.TrailingMode) core.Options {
 		DetectEncoding:     o.DetectEncoding,
 		SplitTables:        o.SplitTables,
 		NoSkipAhead:        o.NoSkipAhead,
+		NoSWARConvert:      o.NoSWARConvert,
 		ConvertWorkers:     o.ConvertWorkers,
 	}
 	copts.Encoding = o.Encoding.internal()
