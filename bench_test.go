@@ -11,6 +11,7 @@ package parparaw
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/baseline"
@@ -336,6 +337,43 @@ func BenchmarkStreamSteadyState(b *testing.B) {
 		deviceBytes = res.Stats.DeviceBytes
 	}
 	b.ReportMetric(float64(deviceBytes), "device-bytes")
+}
+
+// BenchmarkStreamScaling sweeps the cross-partition ring depth
+// (Options.InFlight) over both workloads — the multi-core scaling
+// trajectory tracked in BENCH_*.json. Each sub-bench reports the host
+// core count ("cores") and the ring depth ("in-flight") next to MB/s,
+// so recorded runs are interpretable: on a single-core host the curve
+// is flat (the ring still runs, but partitions time-slice one CPU);
+// real speedup needs GOMAXPROCS >= the depth.
+func BenchmarkStreamScaling(b *testing.B) {
+	for _, spec := range benchSpecs {
+		input := spec.Generate(benchSize, 42)
+		schema := schemaFromInternal(spec.Schema)
+		for _, inFlight := range dedupWorkerCounts(1, 2, 4, runtime.GOMAXPROCS(0)) {
+			b.Run(fmt.Sprintf("%s/inflight=%d", spec.Name, inFlight), func(b *testing.B) {
+				bus := NewBus(BusConfig{TimeScale: 1e6})
+				b.SetBytes(int64(len(input)))
+				b.ReportAllocs()
+				b.ResetTimer()
+				var deviceBytes int64
+				for i := 0; i < b.N; i++ {
+					res, err := Stream(input, StreamOptions{
+						Options:       Options{Schema: schema, InFlight: inFlight},
+						PartitionSize: 128 << 10,
+						Bus:           bus,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					deviceBytes = res.Stats.DeviceBytes
+				}
+				b.ReportMetric(float64(deviceBytes), "device-bytes")
+				b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cores")
+				b.ReportMetric(float64(inFlight), "in-flight")
+			})
+		}
+	}
 }
 
 // BenchmarkFig9ChunkSize sweeps the chunk size (Figure 9): tiny chunks

@@ -37,6 +37,12 @@ type Result struct {
 	// NsPerField is the per-parser microbench metric
 	// (BenchmarkConvertParsers): nanoseconds per parsed field value.
 	NsPerField float64 `json:"ns_per_field,omitempty"`
+	// Cores and InFlight annotate the multi-core scaling benches
+	// (BenchmarkStreamScaling): the GOMAXPROCS the run had and the ring
+	// depth it used — without them a flat or rising MB/s curve cannot be
+	// attributed to the host vs the pipeline.
+	Cores    float64 `json:"cores,omitempty"`
+	InFlight float64 `json:"in_flight,omitempty"`
 }
 
 func main() {
@@ -115,6 +121,10 @@ func parseBench(r io.Reader) (map[string]Result, error) {
 				res.ConvertNs = v
 			case "ns/field":
 				res.NsPerField = v
+			case "cores":
+				res.Cores = v
+			case "in-flight":
+				res.InFlight = v
 			}
 		}
 		results[name] = res

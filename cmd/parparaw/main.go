@@ -6,7 +6,8 @@
 // Usage:
 //
 //	parparaw [-header] [-delim ,] [-comment '#'] [-mode tagged|inline|delimited]
-//	         [-stream] [-partition-size 32MB] [-head 10] [-validate] file.csv
+//	         [-stream] [-partition-size 32MB] [-inflight N] [-v]
+//	         [-head 10] [-validate] file.csv
 //
 // With no file argument, standard input is read. Input is always
 // consumed through the Reader path — files are never loaded whole: in
@@ -38,6 +39,8 @@ func main() {
 	streamFlag := flag.Bool("stream", false, "use the end-to-end streaming pipeline")
 	partition := flag.String("partition-size", "32MB", "streaming partition size")
 	flag.StringVar(partition, "partition", *partition, "alias for -partition-size")
+	inFlight := flag.Int("inflight", 0, "streaming partitions in flight (0 = GOMAXPROCS-derived, 1 = serial)")
+	verbose := flag.Bool("v", false, "print per-stage busy times for streaming runs")
 	head := flag.Int("head", 0, "print the first N rows")
 	validate := flag.Bool("validate", false, "fail on format violations")
 	chunk := flag.Int("chunk", 0, "chunk size in bytes (default 31)")
@@ -58,7 +61,7 @@ func main() {
 		}
 	}
 
-	err := run(*header, *delim, *comment, *crlf, *mode, *streamFlag, *partition, *head, *validate, *chunk, flag.Arg(0))
+	err := run(*header, *delim, *comment, *crlf, *mode, *streamFlag, *partition, *inFlight, *verbose, *head, *validate, *chunk, flag.Arg(0))
 
 	if *cpuprofile != "" {
 		pprof.StopCPUProfile()
@@ -83,7 +86,7 @@ func main() {
 	}
 }
 
-func run(header bool, delim, comment string, crlf bool, modeName string, streaming bool, partition string, head int, validate bool, chunk int, path string) error {
+func run(header bool, delim, comment string, crlf bool, modeName string, streaming bool, partition string, inFlight int, verbose bool, head int, validate bool, chunk int, path string) error {
 	var input io.Reader
 	if path == "" || path == "-" {
 		input = os.Stdin
@@ -126,6 +129,7 @@ func run(header bool, delim, comment string, crlf bool, modeName string, streami
 		Mode:      mode,
 		ChunkSize: chunk,
 		Validate:  validate,
+		InFlight:  inFlight,
 	}
 
 	var table *parparaw.Table
@@ -144,8 +148,20 @@ func run(header bool, delim, comment string, crlf bool, modeName string, streami
 		if err != nil {
 			return err
 		}
-		stats = fmt.Sprintf("streamed %d partitions, max carry-over %d B, bus in/out %d/%d B, device mem %d B",
-			res.Stats.Partitions, res.Stats.MaxCarryOver, res.Stats.InputBytes, res.Stats.OutputBytes, res.Stats.DeviceBytes)
+		stats = fmt.Sprintf("streamed %d partitions (%d in flight), max carry-over %d B, bus in/out %d/%d B, device mem %d B",
+			res.Stats.Partitions, res.Stats.InFlight, res.Stats.MaxCarryOver, res.Stats.InputBytes, res.Stats.OutputBytes, res.Stats.DeviceBytes)
+		if verbose {
+			s := res.Stats
+			stats += fmt.Sprintf("\nstage busy over %v wall: read %v, boundary pre-scan %v, parse %v, emit %v",
+				s.Duration, s.ReadBusy, s.BoundaryBusy, s.ParseBusy, s.EmitBusy)
+			if idle := s.Duration - s.ReadBusy - s.BoundaryBusy - s.EmitBusy; idle > 0 && s.InFlight > 1 {
+				stats += fmt.Sprintf(" (spine idle %v)", idle)
+			}
+			if s.SerialFallbacks > 0 {
+				stats += fmt.Sprintf("\nboundary pre-scan fell back to serial carry on %d/%d partitions",
+					s.SerialFallbacks, s.Partitions)
+			}
+		}
 	} else {
 		res, err := parparaw.ParseReader(input, opts)
 		if err != nil {

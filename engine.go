@@ -6,10 +6,12 @@ import (
 	"io"
 	"sync"
 
+	"repro/internal/columnar"
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/stream"
 	"repro/internal/transcode"
+	"repro/internal/utfx"
 )
 
 // Engine is a reusable parsing service: one configuration compiled once
@@ -95,11 +97,27 @@ func (e *Engine) ParseReader(r io.Reader) (*Result, error) {
 }
 
 // StreamConfig holds the per-run knobs of an Engine streaming call: the
-// partition size (Figure 12's x-axis) and the simulated interconnect.
-// Zero values select DefaultPartitionSize and a PCIe 3.0 x16 model.
+// partition size (Figure 12's x-axis), the simulated interconnect, and
+// the cross-partition ring's depth, ordering, and memory budget. Zero
+// values select DefaultPartitionSize, a PCIe 3.0 x16 model, and the
+// engine's compiled Options.InFlight.
 type StreamConfig struct {
 	PartitionSize int
 	Bus           *Bus
+	// InFlight overrides the engine's Options.InFlight for this run
+	// (0 keeps it): the number of partitions concurrently in flight in
+	// the cross-partition ring, 1 forcing the serial pipeline.
+	InFlight int
+	// Unordered emits each partition's table as soon as its parse
+	// completes instead of buffering for input order;
+	// StreamResult.Order then records the permutation. Only callers
+	// consuming partitions independently should set it.
+	Unordered bool
+	// DeviceBudget, when positive, bounds the estimated device bytes of
+	// the partitions concurrently in flight: the ring stops admitting
+	// new partitions while the budget would be exceeded (one partition
+	// is always admitted, so the run progresses under any budget).
+	DeviceBudget int64
 }
 
 // Stream parses an in-memory input through the end-to-end streaming
@@ -150,88 +168,199 @@ func (e *Engine) StreamReader(r io.Reader, cfg StreamConfig) (*StreamResult, err
 		r = io.MultiReader(bytes.NewReader(head[skip:n]), r)
 	}
 
-	// One arena for the whole run: stream.Run resets it between
-	// partitions, so consecutive partitions parse inside the same device
-	// allocations instead of growing the heap per partition.
-	arena := e.checkout()
-	defer e.release(arena)
+	opts := e.plan.Options()
+	inFlight := cfg.InFlight
+	if inFlight <= 0 {
+		inFlight = opts.InFlight
+	}
+	if inFlight > core.MaxInFlight {
+		inFlight = core.MaxInFlight
+	}
+	if opts.Device.ModelledTime() {
+		inFlight = 1
+	}
 
-	out := &StreamResult{}
-	first := true
-	invalid := false
-	trimming := base.HasHeader || base.SkipRows > 0
-	fixedSchema := base.Schema
-	parser := stream.ParserFunc(func(part []byte, final bool) (stream.PartitionResult, error) {
-		exec := base
-		exec.Arena = arena
-		exec.Trailing = core.TrailingRemainder
-		if final {
-			exec.Trailing = core.TrailingRecord
-		}
-		exec.Schema = fixedSchema
-		exec.HasHeader = base.HasHeader && first
-		exec.SkipRows = 0
-		if first {
-			exec.SkipRows = base.SkipRows
-		}
-		res, err := e.plan.Execute(part, exec)
-		if err != nil {
-			return stream.PartitionResult{}, err
-		}
-		invalid = invalid || res.Stats.InvalidInput
-		if first {
-			if !final && res.Table.NumRows() == 0 {
-				if trimming {
-					// The partition is too small to hold the skipped
-					// rows, the header, and one complete record — a
-					// partial header would be consumed mangled and the
-					// schema would freeze on nothing. Nothing has been
-					// emitted, so carry the whole partition into the
-					// next, larger attempt and stay in first-partition
-					// mode. The carry this accumulates is bounded by
-					// the position of the first data record.
-					return stream.PartitionResult{CompleteBytes: 0}, nil
-				}
-				// Without header/skip trimming there is nothing to
-				// re-consume: hand back any completed rowless records
-				// (comment lines, fully-skipped records) and defer the
-				// header capture and schema freeze until a partition
-				// actually produces rows. The empty placeholder table's
-				// shape is unsettled, so it is not emitted.
-				return stream.PartitionResult{CompleteBytes: len(part) - res.Remainder}, nil
+	rp := &ringParser{
+		plan:     e.plan,
+		base:     base,
+		first:    true,
+		trimming: base.HasHeader || base.SkipRows > 0,
+		schema:   base.Schema,
+		direct:   base.Encoding == utfx.ASCII || base.Encoding == utfx.UTF8,
+	}
+	scfg := stream.Config{
+		PartitionSize: partSize,
+		Bus:           bus.b,
+		InFlight:      inFlight,
+		Unordered:     cfg.Unordered,
+		DeviceBudget:  cfg.DeviceBudget,
+	}
+	if inFlight > 1 {
+		// The ring draws one arena per in-flight partition from the
+		// engine's pool. Divide the plan's convert-worker budget across
+		// the ring so InFlight × per-partition workers stays at the
+		// host's parallelism instead of oversubscribing it.
+		scfg.Arenas = enginePool{e}
+		if cw := opts.ConvertWorkers / inFlight; cw < opts.ConvertWorkers {
+			if cw < 1 {
+				cw = 1
 			}
-			out.Header = res.Header
-			if fixedSchema == nil {
-				// Freeze the inferred schema so later partitions agree.
-				fixedSchema = res.Table.Schema()
-			}
-			first = false
+			rp.convertWorkers = cw
 		}
-		return stream.PartitionResult{
-			Table:         res.Table,
-			CompleteBytes: len(part) - res.Remainder,
-		}, nil
-	})
+	} else {
+		// Serial pipeline: one arena for the whole run, reset between
+		// partitions, so consecutive partitions parse inside the same
+		// device allocations instead of growing the heap per partition.
+		arena := e.checkout()
+		defer e.release(arena)
+		rp.serial = arena
+		scfg.Arena = arena
+	}
 
-	res, err := stream.Run(stream.Config{PartitionSize: partSize, Bus: bus.b, Arena: arena}, parser, stream.NewSource(r))
+	res, err := stream.Run(scfg, rp, stream.NewSource(r))
 	if err != nil {
 		return nil, err
 	}
+	out := &StreamResult{Header: rp.header, Order: res.Order}
 	out.Tables = make([]*Table, len(res.Tables))
 	for i, t := range res.Tables {
 		out.Tables[i] = &Table{t: t}
 	}
 	out.Stats = StreamStats{
-		Duration:     res.Stats.Duration,
-		Partitions:   res.Stats.Partitions,
-		InputBytes:   res.Stats.InputBytes,
-		OutputBytes:  res.Stats.OutputBytes,
-		ParseBusy:    res.Stats.ParseBusy,
-		MaxCarryOver: res.Stats.MaxCarryOver,
-		DeviceBytes:  res.Stats.DeviceBytes,
-		InvalidInput: invalid,
+		Duration:        res.Stats.Duration,
+		Partitions:      res.Stats.Partitions,
+		InputBytes:      res.Stats.InputBytes,
+		OutputBytes:     res.Stats.OutputBytes,
+		ParseBusy:       res.Stats.ParseBusy,
+		MaxCarryOver:    res.Stats.MaxCarryOver,
+		DeviceBytes:     res.Stats.DeviceBytes,
+		InvalidInput:    res.Stats.InvalidInput,
+		InFlight:        res.Stats.InFlight,
+		SerialFallbacks: res.Stats.SerialFallbacks,
+		ReadBusy:        res.Stats.ReadBusy,
+		BoundaryBusy:    res.Stats.BoundaryBusy,
+		EmitBusy:        res.Stats.EmitBusy,
 	}
 	return out, nil
+}
+
+// enginePool adapts the engine's recycled-arena pool to the ring
+// scheduler's ArenaPool.
+type enginePool struct{ e *Engine }
+
+func (p enginePool) Get() *device.Arena  { return p.e.checkout() }
+func (p enginePool) Put(a *device.Arena) { p.e.release(a) }
+
+// ringParser adapts the engine's compiled plan to the streaming
+// pipeline's Parser and RingParser contracts. One value serves a whole
+// run: the serial pipeline calls ParsePartition on the run's single
+// recycled arena, the ring scheduler calls Boundary to finalise each
+// next partition's input and ParseInFlight to parse partitions
+// concurrently on their own arenas.
+type ringParser struct {
+	plan *core.Plan
+	base core.Exec
+	// convertWorkers, when positive, caps each partition's convert
+	// stage (Exec.ConvertWorkers) so the ring's aggregate worker count
+	// matches the plan's budget.
+	convertWorkers int
+	// serial is the serial pipeline's single recycled arena (nil under
+	// the ring).
+	serial *device.Arena
+	// direct reports that partitions parse their raw bytes directly —
+	// no UTF-16 transcode — so the DFA boundary pre-scan is exact.
+	direct   bool
+	trimming bool
+	// First-partition state. Written only by parses running while first
+	// is true; the scheduler serialises those (Boundary reports !ok
+	// until first turns false), so concurrent in-flight parses only
+	// ever read the frozen values.
+	first  bool
+	schema *columnar.Schema
+	header []string
+}
+
+// ParsePartition is the serial pipeline's entry point.
+func (p *ringParser) ParsePartition(part []byte, final bool) (stream.PartitionResult, error) {
+	return p.parse(p.serial, part, final)
+}
+
+// ParseInFlight parses one partition on its own arena, concurrently
+// with other partitions.
+func (p *ringParser) ParseInFlight(arena *device.Arena, part []byte, final bool) (stream.PartitionResult, error) {
+	return p.parse(arena, part, final)
+}
+
+// Boundary pre-scans part's record boundary: a single sequential DFA
+// walk yielding exactly the carry-over a TrailingRemainder parse would
+// report, which is what lets the ring dispatch the partition without
+// waiting for that parse. It declines (serial fallback) while the
+// first partition's header/skip trimming is unsettled — row pruning
+// splits raw lines without DFA context, so a whole-partition walk
+// could disagree — and for UTF-16 input, whose remainder is defined on
+// the transcoded bytes and mapped back (Plan.Execute), not on a raw
+// walk.
+func (p *ringParser) Boundary(part []byte) (int, bool) {
+	if p.first || !p.direct {
+		return 0, false
+	}
+	return p.plan.ScanRemainder(part), true
+}
+
+func (p *ringParser) parse(arena *device.Arena, part []byte, final bool) (stream.PartitionResult, error) {
+	exec := p.base
+	exec.Arena = arena
+	exec.Trailing = core.TrailingRemainder
+	if final {
+		exec.Trailing = core.TrailingRecord
+	}
+	exec.Schema = p.schema
+	exec.HasHeader = p.base.HasHeader && p.first
+	exec.SkipRows = 0
+	if p.first {
+		exec.SkipRows = p.base.SkipRows
+	}
+	exec.ConvertWorkers = p.convertWorkers
+	res, err := p.plan.Execute(part, exec)
+	if err != nil {
+		return stream.PartitionResult{}, err
+	}
+	if p.first {
+		if !final && res.Table.NumRows() == 0 {
+			if p.trimming {
+				// The partition is too small to hold the skipped
+				// rows, the header, and one complete record — a
+				// partial header would be consumed mangled and the
+				// schema would freeze on nothing. Nothing has been
+				// emitted, so carry the whole partition into the
+				// next, larger attempt and stay in first-partition
+				// mode. The carry this accumulates is bounded by
+				// the position of the first data record.
+				return stream.PartitionResult{CompleteBytes: 0, Invalid: res.Stats.InvalidInput}, nil
+			}
+			// Without header/skip trimming there is nothing to
+			// re-consume: hand back any completed rowless records
+			// (comment lines, fully-skipped records) and defer the
+			// header capture and schema freeze until a partition
+			// actually produces rows. The empty placeholder table's
+			// shape is unsettled, so it is not emitted.
+			return stream.PartitionResult{
+				CompleteBytes: len(part) - res.Remainder,
+				Invalid:       res.Stats.InvalidInput,
+			}, nil
+		}
+		p.header = res.Header
+		if p.schema == nil {
+			// Freeze the inferred schema so later partitions agree.
+			p.schema = res.Table.Schema()
+		}
+		p.first = false
+	}
+	return stream.PartitionResult{
+		Table:         res.Table,
+		CompleteBytes: len(part) - res.Remainder,
+		Invalid:       res.Stats.InvalidInput,
+	}, nil
 }
 
 // instantBus configures an effectively delay-free interconnect for

@@ -19,22 +19,30 @@ func convertWorkersFromFuzz(raw uint8) int {
 	return []int{1, 2, 4}[raw%3]
 }
 
-// FuzzStreamReader parses the same bytes twice — whole-input Parse and
-// StreamReader with a fuzzed partition size, chunk size, and convert
-// worker count — and asserts identical tables: partition boundaries,
-// carry-over, the reader chunking, and the convert pool must all be
-// invisible in the output. The schema is pinned from the whole-input
-// parse so per-partition type inference (documented to see only the
-// first partition) does not enter the comparison.
-func FuzzStreamReader(f *testing.F) {
-	f.Add([]byte("a,b\nc,d\n"), uint16(5), uint8(31), uint8(0))
-	f.Add([]byte(`1,"x,y",2`+"\n"), uint16(3), uint8(7), uint8(1))
-	f.Add([]byte("\"q\"\"q\",\"multi\nline\"\n"), uint16(8), uint8(4), uint8(2))
-	f.Add([]byte("no trailing newline"), uint16(6), uint8(64), uint8(1))
-	f.Add([]byte("\"unterminated"), uint16(2), uint8(5), uint8(0))
-	f.Add([]byte("wide,record,with,many,columns\nshort\n"), uint16(9), uint8(16), uint8(2))
+// inFlightFromFuzz maps a fuzzed byte onto the ring depths worth
+// exercising: the serial pipeline, the smallest real ring, a typical
+// depth, and one wider than most fuzzed inputs have partitions.
+func inFlightFromFuzz(raw uint8) int {
+	return []int{1, 2, 4, 7}[raw%4]
+}
 
-	f.Fuzz(func(t *testing.T, input []byte, partRaw uint16, chunkRaw, workersRaw uint8) {
+// FuzzStreamReader parses the same bytes twice — whole-input Parse and
+// StreamReader with a fuzzed partition size, chunk size, convert worker
+// count, and in-flight ring depth — and asserts identical tables:
+// partition boundaries, carry-over, the reader chunking, the convert
+// pool, and the cross-partition ring must all be invisible in the
+// output. The schema is pinned from the whole-input parse so
+// per-partition type inference (documented to see only the first
+// partition) does not enter the comparison.
+func FuzzStreamReader(f *testing.F) {
+	f.Add([]byte("a,b\nc,d\n"), uint16(5), uint8(31), uint8(0), uint8(0))
+	f.Add([]byte(`1,"x,y",2`+"\n"), uint16(3), uint8(7), uint8(1), uint8(1))
+	f.Add([]byte("\"q\"\"q\",\"multi\nline\"\n"), uint16(8), uint8(4), uint8(2), uint8(2))
+	f.Add([]byte("no trailing newline"), uint16(6), uint8(64), uint8(1), uint8(3))
+	f.Add([]byte("\"unterminated"), uint16(2), uint8(5), uint8(0), uint8(2))
+	f.Add([]byte("wide,record,with,many,columns\nshort\n"), uint16(9), uint8(16), uint8(2), uint8(1))
+
+	f.Fuzz(func(t *testing.T, input []byte, partRaw uint16, chunkRaw, workersRaw, inFlightRaw uint8) {
 		partSize := int(partRaw%256) + 1
 		chunk := int(chunkRaw%64) + 1
 		workers := convertWorkersFromFuzz(workersRaw)
@@ -42,7 +50,12 @@ func FuzzStreamReader(f *testing.F) {
 		if err != nil {
 			t.Fatalf("Parse failed on %q: %v", input, err)
 		}
-		opts := Options{ChunkSize: chunk, Schema: whole.Table.Schema(), ConvertWorkers: workers}
+		opts := Options{
+			ChunkSize:      chunk,
+			Schema:         whole.Table.Schema(),
+			ConvertWorkers: workers,
+			InFlight:       inFlightFromFuzz(inFlightRaw),
+		}
 		streamed, err := StreamReader(bytes.NewReader(input), StreamOptions{
 			Options:       opts,
 			PartitionSize: partSize,

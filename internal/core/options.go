@@ -123,6 +123,15 @@ type Options struct {
 	// (Config.VirtualWorkers) the convert stage always runs its columns
 	// sequentially, matching the paper's serialised kernel launches.
 	ConvertWorkers int
+	// InFlight is the number of streaming partitions the cross-partition
+	// ring keeps in flight at once (§4.4 extended across partitions):
+	// each in-flight partition runs the whole kernel pipeline on its own
+	// arena while the ring's emit stage releases tables in input order.
+	// 0 means a GOMAXPROCS-derived default (capped at MaxInFlight); 1 is
+	// the serial pipeline. In modelled-time mode (device VirtualWorkers)
+	// the ring is forced to 1 so the modelled schedule stays the paper's
+	// serialised one. Output is byte-identical at every setting.
+	InFlight int
 	// Trailing controls what happens to input after the last record
 	// delimiter. TrailingRecord (default) parses it as one final record;
 	// TrailingRemainder excludes it and reports its size in
@@ -173,8 +182,33 @@ func (o Options) withDefaults() Options {
 	if o.ConvertWorkers <= 0 {
 		o.ConvertWorkers = runtime.GOMAXPROCS(0)
 	}
+	if o.InFlight <= 0 {
+		o.InFlight = runtime.GOMAXPROCS(0)
+		if o.InFlight > DefaultMaxInFlight {
+			o.InFlight = DefaultMaxInFlight
+		}
+	}
+	if o.InFlight > MaxInFlight {
+		o.InFlight = MaxInFlight
+	}
+	if o.Device.ModelledTime() {
+		// A modelled device reports the list-scheduled makespan of one
+		// serialised kernel sequence; overlapping partitions would mix
+		// several sequences into the same virtual timeline.
+		o.InFlight = 1
+	}
 	return o
 }
+
+// DefaultMaxInFlight caps the GOMAXPROCS-derived InFlight default: each
+// in-flight partition runs a full kernel pipeline, so beyond a handful
+// of partitions the extra ring depth only buys memory footprint.
+const DefaultMaxInFlight = 8
+
+// MaxInFlight is the hard cap on explicit InFlight requests — a sanity
+// bound on the ring's memory budget (InFlight × partition footprint),
+// not a tuning knob.
+const MaxInFlight = 64
 
 var (
 	defaultMachine = dfa.RFC4180()

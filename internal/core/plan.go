@@ -37,6 +37,9 @@ func Compile(opts Options) (*Plan, error) {
 	if opts.ConvertWorkers < 0 {
 		return nil, fmt.Errorf("core: ConvertWorkers %d is negative", opts.ConvertWorkers)
 	}
+	if opts.InFlight < 0 {
+		return nil, fmt.Errorf("core: InFlight %d is negative", opts.InFlight)
+	}
 	o := opts.withDefaults()
 	o.Arena = nil // the arena is a per-execution resource (Exec.Arena)
 	seen := make(map[int]bool, len(o.SelectColumns))
@@ -90,6 +93,11 @@ type Exec struct {
 	Encoding utfx.Encoding
 	// DetectEncoding sniffs and strips a byte-order mark first.
 	DetectEncoding bool
+	// ConvertWorkers, when positive, overrides the plan's convert-stage
+	// worker count for this run. The streaming ring divides the plan's
+	// budget across its in-flight partitions here, so InFlight ×
+	// per-partition workers never oversubscribes the host.
+	ConvertWorkers int
 }
 
 // BaseExec returns the plan's own per-run parameters with the given
@@ -104,6 +112,18 @@ func (p *Plan) BaseExec(arena *device.Arena) Exec {
 		Encoding:       p.opts.Encoding,
 		DetectEncoding: p.opts.DetectEncoding,
 	}
+}
+
+// ScanRemainder returns the carry-over a TrailingRemainder parse of
+// input would report — the trailing bytes after the last
+// record-delimiter emission — via a single sequential DFA walk instead
+// of a full pipeline run. It is the streaming ring's record-boundary
+// pre-scan: partition i+1's input is finalised from this without
+// waiting for partition i's parse. It is exact for inputs the pipeline
+// parses directly (no pending header/skip trimming, no transcoding);
+// callers in those modes must fall back to the serial carry path.
+func (p *Plan) ScanRemainder(input []byte) int {
+	return p.opts.Machine.RecordRemainder(input)
 }
 
 // Execute runs the compiled plan's kernel pipeline over input with the
@@ -122,6 +142,9 @@ func (p *Plan) Execute(input []byte, exec Exec) (*Result, error) {
 	o.Schema = exec.Schema
 	o.Encoding = exec.Encoding
 	o.DetectEncoding = exec.DetectEncoding
+	if exec.ConvertWorkers > 0 {
+		o.ConvertWorkers = exec.ConvertWorkers
+	}
 
 	start := time.Now()
 	before := o.Device.Timers().Snapshot()

@@ -161,3 +161,48 @@ func TestVirtualModeChargesLaunchOverhead(t *testing.T) {
 		t.Errorf("phase = %v, want >= launch overhead", got)
 	}
 }
+
+// TestMeasurementOverheadCalibration pins the calibration constant the
+// modelled-time path subtracts from every block: it must be a small,
+// stable, non-negative duration (an empty Now/Since pair costs tens of
+// nanoseconds, never microseconds on a working clock), and repeated
+// calls must return the same once-calibrated value.
+func TestMeasurementOverheadCalibration(t *testing.T) {
+	over := measurementOverhead()
+	if over < 0 {
+		t.Fatalf("calibrated overhead %v is negative", over)
+	}
+	if over > 50*time.Microsecond {
+		t.Fatalf("calibrated overhead %v is implausibly large", over)
+	}
+	if again := measurementOverhead(); again != over {
+		t.Fatalf("calibration not stable: %v then %v", over, again)
+	}
+}
+
+// TestVirtualModeSubtractsMeasurementOverhead runs near-empty blocks in
+// modelled-time mode: with the per-block Now/Since cost subtracted, the
+// modelled serial sum must stay well below blocks × the raw measured
+// cost of an empty measurement pair (the pre-calibration skew).
+func TestVirtualModeSubtractsMeasurementOverhead(t *testing.T) {
+	if raceEnabled {
+		t.Skip("per-block timing distorted by race instrumentation")
+	}
+	const threads = 64 * 512 // 512 blocks, each doing almost nothing
+	best := time.Duration(0)
+	for attempt := 0; attempt < 3; attempt++ {
+		d := New(Config{Workers: 1, VirtualWorkers: 1, LaunchOverhead: -1})
+		d.LaunchBlocks("p", threads, func(b, first, limit int) {})
+		got := d.Timers().Phase("p")
+		if attempt == 0 || got < best {
+			best = got
+		}
+		// 512 empty blocks at a typical 20-60ns measurement cost would
+		// read 10-30µs uncorrected; after subtraction the sum should
+		// collapse toward zero. Allow generous slack for loaded hosts.
+		if got < 512*time.Duration(200) {
+			return
+		}
+	}
+	t.Errorf("modelled serial sum of empty blocks = %v; measurement overhead not subtracted", best)
+}

@@ -192,6 +192,38 @@ func (m *Machine) advanceVectorFused(v []uint8, chunk []byte) {
 	}
 }
 
+// RecordRemainder walks input once from the start state and returns the
+// number of trailing bytes after the last record-delimiter emission —
+// exactly the carry-over the pipeline's TrailingRemainder mode reports
+// (emitBitmapsStage: remainder = n - last - 1, or n with no delimiter).
+// It is the streaming ring scheduler's record-boundary pre-scan: the
+// walk uses the fused tables and skip scanners unconditionally (both
+// are always compiled; skippable states only self-loop over data bytes,
+// which never delimit a record), so the result matches the full parse
+// byte for byte regardless of the ablation toggles, at one table load
+// per interesting byte.
+func (m *Machine) RecordRemainder(input []byte) int {
+	ns := m.numStates
+	s := m.start
+	last := -1
+	i, n := 0, len(input)
+	for i < n {
+		if sc := m.skip[s]; sc != nil {
+			i = sc.Next(input, i, n)
+			if i >= n {
+				break
+			}
+		}
+		e := m.fused[int(input[i])*ns+int(s)]
+		s = State(e & 0xFF)
+		if Emission(e >> 8).IsRecordDelim() {
+			last = i
+		}
+		i++
+	}
+	return n - last - 1
+}
+
 // runFused is the sequential single-instance simulation over the fused
 // tables with skip-ahead.
 func (m *Machine) runFused(s State, input []byte) State {

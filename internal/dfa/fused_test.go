@@ -184,6 +184,38 @@ func TestFusedSurvivesStrategyChange(t *testing.T) {
 	}
 }
 
+// TestRecordRemainderMatchesReferenceWalk checks the streaming boundary
+// pre-scan against a naive split-table walk that mirrors the emit
+// kernel's remainder definition: bytes after the last record-delimiter
+// emission, or the whole input when no delimiter was emitted. Ablation
+// toggles must not change the result — the pre-scan always takes the
+// fused path.
+func TestRecordRemainderMatchesReferenceWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	inputs := fusedTestInputs(rng)
+	for name, m := range fusedTestMachines() {
+		split := m.SetFastPath(false, false)
+		for _, in := range inputs {
+			s := m.Start()
+			last := -1
+			for i := 0; i < len(in); i++ {
+				g := m.Group(in[i])
+				if m.Emission(s, g).IsRecordDelim() {
+					last = i
+				}
+				s = m.NextByGroup(s, g)
+			}
+			want := len(in) - last - 1
+			if got := m.RecordRemainder(in); got != want {
+				t.Fatalf("%s: RecordRemainder(%q) = %d, reference walk = %d", name, in, got, want)
+			}
+			if got := split.RecordRemainder(in); got != want {
+				t.Fatalf("%s: split-toggled RecordRemainder(%q) = %d, want %d", name, in, got, want)
+			}
+		}
+	}
+}
+
 // TestChunkVectorIntoFusedParity covers the arena-backed vector entry
 // point the parse kernel actually calls.
 func TestChunkVectorIntoFusedParity(t *testing.T) {

@@ -1,0 +1,349 @@
+// ring.go is the cross-partition pipeline: where the serial scheduler
+// of stream.go overlaps only the *stages* (transfer/parse/return) of
+// consecutive partitions, the ring overlaps the partitions themselves —
+// up to Config.InFlight full kernel pipelines run concurrently, each on
+// its own arena, with an emit stage releasing tables in input order.
+//
+// The enabler is breaking the carry-over dependency: serially, partition
+// i+1's input cannot be assembled until partition i's parse reports how
+// many of its bytes belong to complete records. The ring instead runs a
+// record-boundary pre-scan (RingParser.Boundary — a sequential walk of
+// the parsing DFA over the partition) that yields the same carry length
+// at a fraction of the parse's cost, so the scheduler finalises
+// partition i+1's input and dispatches partition i to a worker without
+// waiting. Whenever the boundary is not determinable without the full
+// parse (first-partition header/skip trimming still unsettled, input
+// needing transcoding before record boundaries exist), the partition
+// falls back to the serial carry path: it parses inline on the
+// scheduler, exactly as the serial pipeline would.
+//
+// Memory stays bounded at ring depth × partition footprint: at most
+// InFlight partitions hold an arena at once (arenas recycle through a
+// free list as partitions retire), and an optional DeviceBudget gates
+// admission on the estimated in-flight device bytes.
+
+package stream
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/columnar"
+	"repro/internal/device"
+	"repro/internal/pcie"
+)
+
+// parsedPart is one partition's outcome on its way to the emit stage.
+type parsedPart struct {
+	idx   int
+	res   PartitionResult
+	arena *device.Arena
+	est   int64 // device-budget charge taken at dispatch
+	dur   time.Duration
+	err   error
+}
+
+// deviceBudget gates partition admission on estimated in-flight device
+// bytes. The estimate for a new partition is the larger of its input
+// size and the biggest per-partition arena footprint observed so far;
+// a partition is always admitted when nothing is in flight, so the run
+// progresses even under a budget smaller than one partition.
+type deviceBudget struct {
+	limit int64
+	mu    sync.Mutex
+	cond  *sync.Cond
+	used  int64
+	peak  int64
+}
+
+func newDeviceBudget(limit int64) *deviceBudget {
+	b := &deviceBudget{limit: limit}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// charge blocks until the partition fits under the budget and returns
+// the amount charged (0 when no budget is configured).
+func (b *deviceBudget) charge(inputLen int) int64 {
+	if b.limit <= 0 {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	est := int64(inputLen)
+	if b.peak > est {
+		est = b.peak
+	}
+	for b.used > 0 && b.used+est > b.limit {
+		b.cond.Wait()
+	}
+	b.used += est
+	return est
+}
+
+// refund returns a retired partition's charge and folds its actual
+// arena footprint into the estimate for future admissions.
+func (b *deviceBudget) refund(est, arenaPeak int64) {
+	if b.limit <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.used -= est
+	if arenaPeak > b.peak {
+		b.peak = arenaPeak
+	}
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// runRing streams the source through the bounded in-flight partition
+// ring. Results are byte-identical to the serial pipeline: the carry
+// chain is the same (the pre-scan computes the very remainder the parse
+// would report, and dispatched parses are cross-checked against it),
+// every partition parses the same input bytes, and ordered emit
+// preserves input order.
+func runRing(cfg Config, parser RingParser, src *Source) (*Result, error) {
+	bus := cfg.Bus
+	if bus == nil {
+		bus = pcie.Default()
+	}
+	start := time.Now()
+
+	inFlight := cfg.InFlight
+	// slots bounds the partitions concurrently holding an arena; a slot
+	// is taken before a partition's input is assembled and released when
+	// its result reaches the emit stage.
+	slots := make(chan struct{}, inFlight)
+	for i := 0; i < inFlight; i++ {
+		slots <- struct{}{}
+	}
+	arenaFree := make(chan *device.Arena, inFlight) // retired arenas awaiting reuse
+	results := make(chan parsedPart, inFlight+1)
+	quit := make(chan struct{})
+	var quitOnce sync.Once
+	stop := func() { quitOnce.Do(func() { close(quit) }) }
+	budget := newDeviceBudget(cfg.DeviceBudget)
+
+	stats := Stats{InFlight: inFlight}
+	var tables []*columnar.Table
+	var order []int
+	var arenas []*device.Arena // every arena drawn from cfg.Arenas
+	done := make(chan error, 1)
+
+	// Emit stage: retires partitions as they arrive — recycling their
+	// arena and slot immediately, since tables live on the host heap —
+	// and releases tables in input order (or arrival order when
+	// Unordered, recording the permutation).
+	go func() {
+		var firstErr error
+		errIdx := -1
+		pending := make(map[int]parsedPart)
+		next := 0
+		emit := func(p parsedPart) {
+			outBytes := p.res.OutputBytes
+			if outBytes <= 0 && p.res.Table != nil {
+				outBytes = p.res.Table.DataBytes()
+			}
+			eb := time.Now()
+			bus.Transfer(pcie.DeviceToHost, outBytes)
+			stats.EmitBusy += time.Since(eb)
+			stats.OutputBytes += outBytes
+			if p.res.Table != nil {
+				tables = append(tables, p.res.Table)
+				if cfg.Unordered {
+					order = append(order, p.idx)
+				}
+			}
+		}
+		for p := range results {
+			if p.arena != nil {
+				// Slot and arena travel together: results without an
+				// arena (source read errors) never took a slot.
+				budget.refund(p.est, p.arena.PeakBytes())
+				arenaFree <- p.arena
+				slots <- struct{}{}
+			}
+			stats.ParseBusy += p.dur
+			if p.err != nil {
+				if firstErr == nil || p.idx < errIdx {
+					firstErr, errIdx = p.err, p.idx
+				}
+				stop()
+				continue
+			}
+			if p.res.Invalid {
+				stats.InvalidInput = true
+			}
+			if firstErr != nil {
+				continue
+			}
+			if cfg.Unordered {
+				emit(p)
+				continue
+			}
+			pending[p.idx] = p
+			for {
+				q, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				emit(q)
+				next++
+			}
+		}
+		done <- firstErr
+	}()
+
+	// Scheduler: the single sequential spine. It reads each partition's
+	// fresh bytes, assembles carry + fresh in a per-partition arena
+	// buffer, pre-scans the record boundary to finalise the next
+	// partition's carry, and hands the parse to a worker — falling back
+	// to parsing inline when the boundary is ambiguous.
+	var wg sync.WaitGroup
+	go func() {
+		defer func() {
+			wg.Wait()
+			close(results)
+		}()
+		var carry []byte
+		var fill []byte
+		for i := 0; ; i++ {
+			select {
+			case <-quit:
+				return
+			default:
+			}
+			// The carry-over displaces fresh input so carry + fresh fills
+			// one fixed PartitionSize buffer (NextFresh's contract).
+			need := cfg.PartitionSize - len(carry)
+			if need <= 0 {
+				need = cfg.PartitionSize
+			}
+			rb := time.Now()
+			data, last, err := src.Fill(fill, need)
+			fill = data
+			if err == nil {
+				bus.Transfer(pcie.HostToDevice, int64(len(data)))
+			}
+			stats.ReadBusy += time.Since(rb)
+			if err != nil {
+				results <- parsedPart{idx: i, err: fmt.Errorf("stream: reading input: %w", err)}
+				return
+			}
+			stats.InputBytes += int64(len(data))
+			final := last
+
+			select {
+			case <-slots:
+			case <-quit:
+				return
+			}
+			var arena *device.Arena
+			select {
+			case arena = <-arenaFree:
+			default:
+				arena = cfg.Arenas.Get()
+				arenas = append(arenas, arena)
+			}
+			// The retired partition that released this arena is fully on
+			// the host heap; reclaim its buffers for this partition.
+			arena.Reset()
+			buf := device.Alloc[byte](arena, len(carry)+len(data))[:0]
+			buf = append(buf, carry...)
+			buf = append(buf, data...)
+			stats.Partitions++
+
+			dispatched := false
+			if !final {
+				bb := time.Now()
+				rem, ok := parser.Boundary(buf)
+				stats.BoundaryBusy += time.Since(bb)
+				if ok && rem >= 0 && rem <= len(buf) {
+					// The next partition's input is now finalised without
+					// the parse: copy the carry tail out (buf is arena
+					// memory owned by the worker from here) and dispatch.
+					carry = append(carry[:0], buf[len(buf)-rem:]...)
+					if len(carry) > stats.MaxCarryOver {
+						stats.MaxCarryOver = len(carry)
+					}
+					est := budget.charge(len(buf))
+					wantComplete := len(buf) - rem
+					wg.Add(1)
+					go func(idx int, arena *device.Arena, buf []byte, est, wantComplete int64) {
+						defer wg.Done()
+						ps := time.Now()
+						res, err := parser.ParseInFlight(arena, buf, false)
+						dur := time.Since(ps)
+						if err == nil && int64(res.CompleteBytes) != wantComplete {
+							// The pre-scan and the parse must agree by
+							// construction; a mismatch means corrupt
+							// output, so fail loudly instead.
+							err = fmt.Errorf("boundary pre-scan found %d complete bytes, parse found %d",
+								wantComplete, res.CompleteBytes)
+						}
+						if err != nil {
+							err = fmt.Errorf("stream: partition %d: %w", idx, err)
+						}
+						results <- parsedPart{idx: idx, res: res, arena: arena, est: est, dur: dur, err: err}
+					}(i, arena, buf, est, int64(wantComplete))
+					dispatched = true
+				} else {
+					stats.SerialFallbacks++
+				}
+			}
+			if !dispatched {
+				// Serial carry path: the boundary needs the full parse (or
+				// this is the final partition, which the ring still parses
+				// here when it could not be dispatched). Identical to the
+				// serial pipeline's stage 2.
+				est := budget.charge(len(buf))
+				if final {
+					wg.Add(1)
+					go func(idx int, arena *device.Arena, buf []byte, est int64) {
+						defer wg.Done()
+						ps := time.Now()
+						res, err := parser.ParseInFlight(arena, buf, true)
+						dur := time.Since(ps)
+						if err != nil {
+							err = fmt.Errorf("stream: partition %d: %w", idx, err)
+						}
+						results <- parsedPart{idx: idx, res: res, arena: arena, est: est, dur: dur, err: err}
+					}(i, arena, buf, est)
+					return
+				}
+				ps := time.Now()
+				res, err := parser.ParseInFlight(arena, buf, false)
+				dur := time.Since(ps)
+				if err == nil && (res.CompleteBytes < 0 || res.CompleteBytes > len(buf)) {
+					err = fmt.Errorf("complete bytes %d outside [0,%d]", res.CompleteBytes, len(buf))
+				}
+				if err != nil {
+					results <- parsedPart{idx: i, res: res, arena: arena, est: est, dur: dur,
+						err: fmt.Errorf("stream: partition %d: %w", i, err)}
+					return
+				}
+				carry = append(carry[:0], buf[res.CompleteBytes:]...)
+				if len(carry) > stats.MaxCarryOver {
+					stats.MaxCarryOver = len(carry)
+				}
+				results <- parsedPart{idx: i, res: res, arena: arena, est: est, dur: dur}
+			}
+			if final {
+				return
+			}
+		}
+	}()
+
+	err := <-done
+	for _, a := range arenas {
+		stats.DeviceBytes += a.PeakBytes()
+		cfg.Arenas.Put(a)
+	}
+	if err != nil {
+		return nil, err
+	}
+	stats.Duration = time.Since(start)
+	return &Result{Tables: tables, Order: order, Stats: stats}, nil
+}

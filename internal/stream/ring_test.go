@@ -1,0 +1,349 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/columnar"
+	"repro/internal/device"
+)
+
+// testArenaPool is a plain ArenaPool over fresh arenas, tracking
+// balance so tests can assert every arena is returned.
+type testArenaPool struct {
+	mu   sync.Mutex
+	got  int
+	put  int
+	fail bool
+}
+
+func (p *testArenaPool) Get() *device.Arena {
+	p.mu.Lock()
+	p.got++
+	p.mu.Unlock()
+	return device.NewArena()
+}
+
+func (p *testArenaPool) Put(a *device.Arena) {
+	p.mu.Lock()
+	p.put++
+	p.mu.Unlock()
+}
+
+// ringLineParser is the ring-capable toy parser: '\n'-terminated
+// records, one string column, with a boundary pre-scan that mirrors the
+// parse's complete-prefix rule. ambiguous forces the serial fallback;
+// failAt injects an error on a chosen partition index.
+type ringLineParser struct {
+	ambiguous bool
+	failAt    int // -1 disables
+
+	mu     sync.Mutex
+	parses int
+}
+
+func newRingLineParser() *ringLineParser { return &ringLineParser{failAt: -1} }
+
+func (p *ringLineParser) parse(input []byte, final bool) (PartitionResult, error) {
+	p.mu.Lock()
+	n := p.parses
+	p.parses++
+	p.mu.Unlock()
+	if p.failAt >= 0 && n == p.failAt {
+		return PartitionResult{}, errors.New("injected parse failure")
+	}
+	complete := bytes.LastIndexByte(input, '\n') + 1
+	if final {
+		complete = len(input)
+	}
+	var lines []string
+	for _, l := range bytes.Split(input[:complete], []byte{'\n'}) {
+		if len(l) > 0 {
+			lines = append(lines, string(l))
+		}
+	}
+	col := columnar.FromStrings("line", lines)
+	tbl, err := columnar.NewTable(columnar.NewSchema(columnar.Field{Name: "line", Type: columnar.String}),
+		[]*columnar.Column{col}, nil)
+	if err != nil {
+		return PartitionResult{}, err
+	}
+	return PartitionResult{Table: tbl, CompleteBytes: complete}, nil
+}
+
+func (p *ringLineParser) ParsePartition(input []byte, final bool) (PartitionResult, error) {
+	return p.parse(input, final)
+}
+
+func (p *ringLineParser) ParseInFlight(arena *device.Arena, input []byte, final bool) (PartitionResult, error) {
+	// Touch the arena so the footprint stats have something to sum.
+	_ = device.Alloc[byte](arena, len(input))
+	return p.parse(input, final)
+}
+
+func (p *ringLineParser) Boundary(input []byte) (int, bool) {
+	if p.ambiguous {
+		return 0, false
+	}
+	return len(input) - (bytes.LastIndexByte(input, '\n') + 1), true
+}
+
+func ringTestInput(records int) ([]byte, []string) {
+	var sb strings.Builder
+	want := []string{}
+	for i := 0; i < records; i++ {
+		line := fmt.Sprintf("record-%03d-%s", i, strings.Repeat("x", i%41))
+		want = append(want, line)
+		sb.WriteString(line)
+		sb.WriteByte('\n')
+	}
+	return []byte(sb.String()), want
+}
+
+func collectLines(tables []*columnar.Table) []string {
+	var got []string
+	for _, tbl := range tables {
+		col := tbl.Column(0)
+		for r := 0; r < col.Len(); r++ {
+			got = append(got, string(col.StringValue(r)))
+		}
+	}
+	return got
+}
+
+// TestRingMatchesSerialOrdered runs the ring at several depths and
+// partition sizes against the serial pipeline: identical records in
+// identical order, identical partition/carry statistics.
+func TestRingMatchesSerialOrdered(t *testing.T) {
+	input, want := ringTestInput(200)
+	for _, partSize := range []int{7, 16, 64, 100, len(input), len(input) * 2} {
+		serial, err := Run(Config{PartitionSize: partSize, Bus: testBus()}, newRingLineParser(), BytesSource(input))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, inFlight := range []int{2, 3, 7} {
+			pool := &testArenaPool{}
+			res, err := Run(Config{
+				PartitionSize: partSize,
+				Bus:           testBus(),
+				InFlight:      inFlight,
+				Arenas:        pool,
+			}, newRingLineParser(), BytesSource(input))
+			if err != nil {
+				t.Fatalf("part=%d inflight=%d: %v", partSize, inFlight, err)
+			}
+			got := collectLines(res.Tables)
+			if len(got) != len(want) {
+				t.Fatalf("part=%d inflight=%d: %d records, want %d", partSize, inFlight, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("part=%d inflight=%d: record %d = %q, want %q", partSize, inFlight, i, got[i], want[i])
+				}
+			}
+			if res.Order != nil {
+				t.Errorf("ordered run set Order: %v", res.Order)
+			}
+			if res.Stats.Partitions != serial.Stats.Partitions {
+				t.Errorf("part=%d inflight=%d: partitions = %d, serial = %d",
+					partSize, inFlight, res.Stats.Partitions, serial.Stats.Partitions)
+			}
+			if res.Stats.MaxCarryOver != serial.Stats.MaxCarryOver {
+				t.Errorf("part=%d inflight=%d: max carry = %d, serial = %d",
+					partSize, inFlight, res.Stats.MaxCarryOver, serial.Stats.MaxCarryOver)
+			}
+			if res.Stats.InputBytes != int64(len(input)) {
+				t.Errorf("input bytes = %d", res.Stats.InputBytes)
+			}
+			if res.Stats.InFlight != inFlight {
+				t.Errorf("stats in-flight = %d, want %d", res.Stats.InFlight, inFlight)
+			}
+			pool.mu.Lock()
+			if pool.got != pool.put {
+				t.Errorf("arena pool imbalance: %d checked out, %d returned", pool.got, pool.put)
+			}
+			if pool.got > inFlight {
+				t.Errorf("ring drew %d arenas, bound is %d", pool.got, inFlight)
+			}
+			pool.mu.Unlock()
+		}
+	}
+}
+
+// TestRingUnorderedIsPermutation checks the opt-in unordered mode: the
+// emitted tables must be a permutation of the ordered run's, with Order
+// recording a valid permutation of partition indices.
+func TestRingUnorderedIsPermutation(t *testing.T) {
+	input, want := ringTestInput(300)
+	res, err := Run(Config{
+		PartitionSize: 64,
+		Bus:           testBus(),
+		InFlight:      4,
+		Unordered:     true,
+		Arenas:        &testArenaPool{},
+	}, newRingLineParser(), BytesSource(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Order) != len(res.Tables) {
+		t.Fatalf("Order has %d entries for %d tables", len(res.Order), len(res.Tables))
+	}
+	seen := map[int]bool{}
+	for _, idx := range res.Order {
+		if idx < 0 || idx >= res.Stats.Partitions || seen[idx] {
+			t.Fatalf("Order %v is not a valid permutation of partition indices", res.Order)
+		}
+		seen[idx] = true
+	}
+	got := collectLines(res.Tables)
+	if len(got) != len(want) {
+		t.Fatalf("%d records, want %d", len(got), len(want))
+	}
+	wantSet := map[string]int{}
+	for _, w := range want {
+		wantSet[w]++
+	}
+	for _, g := range got {
+		if wantSet[g] == 0 {
+			t.Fatalf("unexpected record %q", g)
+		}
+		wantSet[g]--
+	}
+}
+
+// TestRingSerialFallback forces every boundary ambiguous: the ring must
+// degrade to the serial carry path — same records, fallbacks counted.
+func TestRingSerialFallback(t *testing.T) {
+	input, want := ringTestInput(100)
+	p := newRingLineParser()
+	p.ambiguous = true
+	res, err := Run(Config{
+		PartitionSize: 32,
+		Bus:           testBus(),
+		InFlight:      4,
+		Arenas:        &testArenaPool{},
+	}, p, BytesSource(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collectLines(res.Tables)
+	if len(got) != len(want) {
+		t.Fatalf("%d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if res.Stats.SerialFallbacks != res.Stats.Partitions-1 {
+		t.Errorf("serial fallbacks = %d, want %d (all non-final partitions)",
+			res.Stats.SerialFallbacks, res.Stats.Partitions-1)
+	}
+}
+
+// TestRingDeviceBudgetThrottles runs under a budget smaller than one
+// partition: the run must still complete (one partition always admitted)
+// with correct output.
+func TestRingDeviceBudgetThrottles(t *testing.T) {
+	input, want := ringTestInput(150)
+	res, err := Run(Config{
+		PartitionSize: 64,
+		Bus:           testBus(),
+		InFlight:      4,
+		DeviceBudget:  16, // far below one partition's footprint
+		Arenas:        &testArenaPool{},
+	}, newRingLineParser(), BytesSource(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collectLines(res.Tables)
+	if len(got) != len(want) {
+		t.Fatalf("%d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRingParserError injects a parse failure mid-stream: the error
+// must surface, the run must not hang, and every arena must come back.
+func TestRingParserError(t *testing.T) {
+	input, _ := ringTestInput(200)
+	for _, failAt := range []int{0, 1, 3} {
+		p := newRingLineParser()
+		p.failAt = failAt
+		pool := &testArenaPool{}
+		_, err := Run(Config{
+			PartitionSize: 32,
+			Bus:           testBus(),
+			InFlight:      4,
+			Arenas:        pool,
+		}, p, BytesSource(input))
+		if err == nil {
+			t.Fatalf("failAt=%d: no error", failAt)
+		}
+		if !strings.Contains(err.Error(), "injected parse failure") {
+			t.Fatalf("failAt=%d: err = %v", failAt, err)
+		}
+		pool.mu.Lock()
+		if pool.got != pool.put {
+			t.Errorf("failAt=%d: arena pool imbalance: %d out, %d back", failAt, pool.got, pool.put)
+		}
+		pool.mu.Unlock()
+	}
+}
+
+// TestRingBoundaryParseDisagreement pins the defensive cross-check: a
+// boundary pre-scan that disagrees with the parse must fail the run
+// loudly instead of corrupting the carry chain.
+func TestRingBoundaryParseDisagreement(t *testing.T) {
+	input, _ := ringTestInput(100)
+	p := &lyingBoundaryParser{inner: newRingLineParser()}
+	_, err := Run(Config{
+		PartitionSize: 32,
+		Bus:           testBus(),
+		InFlight:      2,
+		Arenas:        &testArenaPool{},
+	}, p, BytesSource(input))
+	if err == nil || !strings.Contains(err.Error(), "pre-scan") {
+		t.Fatalf("err = %v, want boundary disagreement", err)
+	}
+}
+
+type lyingBoundaryParser struct{ inner *ringLineParser }
+
+func (p *lyingBoundaryParser) ParsePartition(input []byte, final bool) (PartitionResult, error) {
+	return p.inner.ParsePartition(input, final)
+}
+
+func (p *lyingBoundaryParser) ParseInFlight(arena *device.Arena, input []byte, final bool) (PartitionResult, error) {
+	return p.inner.ParseInFlight(arena, input, final)
+}
+
+func (p *lyingBoundaryParser) Boundary(input []byte) (int, bool) {
+	rem, _ := p.inner.Boundary(input)
+	return rem + 1, true // off by one: the parse will disagree
+}
+
+// TestRingEmptyInput mirrors the serial degenerate case: one empty
+// final partition.
+func TestRingEmptyInput(t *testing.T) {
+	res, err := Run(Config{
+		PartitionSize: 16,
+		Bus:           testBus(),
+		InFlight:      4,
+		Arenas:        &testArenaPool{},
+	}, newRingLineParser(), BytesSource(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Partitions != 1 {
+		t.Errorf("partitions = %d, want 1", res.Stats.Partitions)
+	}
+}

@@ -56,6 +56,10 @@ type PartitionResult struct {
 	// size (defaults to Table.DataBytes()). Lets experiments model the
 	// return volume independently of host-side materialisation.
 	OutputBytes int64
+	// Invalid reports that this partition's parse saw invalid input
+	// without failing (the parser's non-erroring validation signal); the
+	// pipeline ORs it into Stats.InvalidInput.
+	Invalid bool
 }
 
 // Parser parses one partition on the device. final is true for the last
@@ -85,7 +89,54 @@ type Config struct {
 	// partition's input, so partition i+1 re-parses inside partition i's
 	// allocations — the paper's fixed device footprint (§4.4). The same
 	// arena must be given to the Parser's per-partition parse options.
+	// The serial pipeline uses it; the ring scheduler draws per-partition
+	// arenas from Arenas instead.
 	Arena *device.Arena
+	// InFlight is the number of partitions the cross-partition ring
+	// keeps in flight at once. Values above 1 select the ring scheduler,
+	// which additionally requires Arenas and a RingParser; otherwise the
+	// serial pipeline runs.
+	InFlight int
+	// Unordered emits each partition's table as soon as its parse
+	// completes instead of buffering for input order; Result.Order then
+	// records the input index of each emitted table.
+	Unordered bool
+	// DeviceBudget, when positive, bounds the estimated device bytes of
+	// the partitions concurrently in flight: the ring stops admitting
+	// new partitions while the budget is exceeded (at least one stays
+	// admitted so the run always progresses).
+	DeviceBudget int64
+	// Arenas supplies the ring scheduler's per-in-flight-partition
+	// arenas. Every arena acquired during the run is returned before Run
+	// returns.
+	Arenas ArenaPool
+}
+
+// ArenaPool supplies device arenas to the ring scheduler, one per
+// in-flight partition. The public Engine's sync.Pool of recycled arenas
+// is the motivating implementation.
+type ArenaPool interface {
+	Get() *device.Arena
+	Put(*device.Arena)
+}
+
+// RingParser is the parser contract of the cross-partition ring: beyond
+// the serial Parser it must (a) pre-scan a partition's record boundary
+// so the next partition's input can be finalised without waiting for
+// the full parse, and (b) parse on a caller-supplied arena so several
+// partitions can be in flight at once. ParseInFlight must be safe for
+// concurrent calls on distinct arenas whenever Boundary reported ok for
+// the partitions involved.
+type RingParser interface {
+	Parser
+	// Boundary returns the carry-over tail length a parse of input
+	// would report, when that is determinable without a full parse
+	// (ok=false falls the partition back to the serial carry path —
+	// e.g. while first-partition trimming is unsettled or the input
+	// needs transcoding before record boundaries exist).
+	Boundary(input []byte) (remainder int, ok bool)
+	// ParseInFlight parses one partition on the given arena.
+	ParseInFlight(arena *device.Arena, input []byte, final bool) (PartitionResult, error)
 }
 
 // Stats summarises one streaming run.
@@ -103,15 +154,40 @@ type Stats struct {
 	// MaxCarryOver is the largest carry-over observed (bytes).
 	MaxCarryOver int
 	// DeviceBytes is the peak arena footprint across all partitions
-	// (zero when the run had no arena).
+	// (zero when the run had no arena). Under the ring scheduler it sums
+	// the per-arena peaks of every arena the run drew — the memory cost
+	// of depth: InFlight × one partition's footprint.
 	DeviceBytes int64
+	// InFlight is the ring depth the run actually used (1 for the
+	// serial pipeline).
+	InFlight int
+	// SerialFallbacks counts the non-final partitions whose record
+	// boundary could not be pre-scanned and that therefore parsed
+	// inline on the scheduler (the serial carry path).
+	SerialFallbacks int
+	// InvalidInput reports that some partition's parse flagged invalid
+	// input (PartitionResult.Invalid).
+	InvalidInput bool
+	// ReadBusy is the time the scheduler spent pulling input from the
+	// source and charging host-to-device transfers; BoundaryBusy is the
+	// time spent in record-boundary pre-scans; EmitBusy is the time the
+	// emit stage spent charging device-to-host transfers. With ParseBusy
+	// (which sums concurrent parses and so can exceed Duration under the
+	// ring) these expose each stage's busy share of the run.
+	ReadBusy     time.Duration
+	BoundaryBusy time.Duration
+	EmitBusy     time.Duration
 }
 
 // Result is the outcome of a streaming run: one table per partition (in
-// order) plus run statistics.
+// input order, unless Config.Unordered) plus run statistics.
 type Result struct {
 	Tables []*columnar.Table
-	Stats  Stats
+	// Order maps each emitted table to its partition's input index; it
+	// is set only for unordered runs (nil means Tables is in input
+	// order).
+	Order []int
+	Stats Stats
 }
 
 // chunk is one fixed-size host buffer's worth of raw input on its way
@@ -142,6 +218,11 @@ type chunk struct {
 func Run(cfg Config, parser Parser, src *Source) (*Result, error) {
 	if cfg.PartitionSize <= 0 {
 		return nil, errors.New("stream: partition size must be positive")
+	}
+	if cfg.InFlight > 1 && cfg.Arenas != nil {
+		if rp, ok := parser.(RingParser); ok {
+			return runRing(cfg, rp, src)
+		}
 	}
 	bus := cfg.Bus
 	if bus == nil {
@@ -204,7 +285,7 @@ func Run(cfg Config, parser Parser, src *Source) (*Result, error) {
 		}
 	}()
 
-	stats := Stats{}
+	stats := Stats{InFlight: 1}
 	var tables []*columnar.Table
 
 	// Stage 2: parse (serial across partitions — the device is one
@@ -294,6 +375,9 @@ func Run(cfg Config, parser Parser, src *Source) (*Result, error) {
 			if err != nil {
 				fail(i, fmt.Errorf("stream: partition %d: %w", i, err))
 				return
+			}
+			if res.Invalid {
+				stats.InvalidInput = true
 			}
 			if !final {
 				if res.CompleteBytes < 0 || res.CompleteBytes > len(buf) {

@@ -57,6 +57,16 @@ type StreamOptions struct {
 	PartitionSize int
 	// Bus is the simulated interconnect; nil uses a PCIe 3.0 x16 model.
 	Bus *Bus
+	// Unordered emits each partition's table as soon as its parse
+	// completes instead of buffering for input order (only meaningful
+	// with Options.InFlight > 1); StreamResult.Order then records the
+	// input index of each emitted table.
+	Unordered bool
+	// DeviceBudget, when positive, bounds the estimated device bytes of
+	// the partitions concurrently in flight: the ring stops admitting
+	// new partitions while the budget would be exceeded. One partition
+	// is always admitted, so the run progresses under any budget.
+	DeviceBudget int64
 }
 
 // StreamStats describes a streaming run.
@@ -79,17 +89,42 @@ type StreamStats struct {
 	// Stats.InvalidInput.
 	InvalidInput bool
 	// DeviceBytes is the peak device-memory footprint across all
-	// partitions. All partitions share one recycled arena (§4.4), so in
-	// steady state this is roughly the footprint of the largest single
-	// partition, not the sum — the Figure-12 memory/throughput
-	// trade-off's memory axis.
+	// partitions. With InFlight=1 all partitions share one recycled
+	// arena (§4.4), so in steady state this is roughly the footprint of
+	// the largest single partition — the Figure-12 memory/throughput
+	// trade-off's memory axis. Under the cross-partition ring it sums
+	// the per-arena peaks of the InFlight arenas the run drew: the
+	// memory cost of depth is InFlight × one partition's footprint.
 	DeviceBytes int64
+	// InFlight is the ring depth the run actually used: the number of
+	// partitions processed concurrently (1 = the serial pipeline).
+	InFlight int
+	// SerialFallbacks counts the non-final partitions whose record
+	// boundary could not be pre-scanned (first-partition trimming
+	// unsettled, UTF-16 input) and that therefore parsed on the serial
+	// carry path inside the ring.
+	SerialFallbacks int
+	// ReadBusy, BoundaryBusy, and EmitBusy are the time the ring's
+	// sequential spine spent pulling input (including host-to-device
+	// transfer charges), pre-scanning record boundaries, and charging
+	// device-to-host transfers, respectively. Together with ParseBusy —
+	// which sums concurrent partition parses and so may exceed Duration
+	// when InFlight > 1 — they expose each stage's busy share of the
+	// run (the -v output of cmd/parparaw).
+	ReadBusy     time.Duration
+	BoundaryBusy time.Duration
+	EmitBusy     time.Duration
 }
 
 // StreamResult is a completed streaming parse.
 type StreamResult struct {
-	// Tables holds one table per partition, in input order.
+	// Tables holds one table per partition, in input order — unless the
+	// run was Unordered, in which case tables appear in completion
+	// order and Order records the permutation.
 	Tables []*Table
+	// Order maps each emitted table to its partition's input index; it
+	// is non-nil only for Unordered runs with at least one table.
+	Order []int
 	// Header holds the column names from the first partition when
 	// Options.HasHeader was set.
 	Header []string
@@ -149,7 +184,12 @@ func StreamReader(r io.Reader, opts StreamOptions) (*StreamResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return e.StreamReader(r, StreamConfig{PartitionSize: opts.PartitionSize, Bus: opts.Bus})
+	return e.StreamReader(r, StreamConfig{
+		PartitionSize: opts.PartitionSize,
+		Bus:           opts.Bus,
+		Unordered:     opts.Unordered,
+		DeviceBudget:  opts.DeviceBudget,
+	})
 }
 
 // ReaderStreamThreshold is the input size in bytes above which
