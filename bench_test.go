@@ -161,6 +161,107 @@ func BenchmarkAblationSWARConvert(b *testing.B) {
 	}
 }
 
+// pushdownBenchWhere returns the Where lists of the pushdown ablation,
+// named by their approximate selectivity against the workload's value
+// distributions (taxi: vendor_id ∈ {1,2}, fare_amount uniform over
+// [0,60); yelp: stars ∈ 1..5, useful ∈ 0..49, funny ∈ 0..19).
+func pushdownBenchWhere(spec string) []struct {
+	name  string
+	where []convert.Predicate
+} {
+	type ws = struct {
+		name  string
+		where []convert.Predicate
+	}
+	switch spec {
+	case "taxi":
+		return []ws{
+			{"sel100", nil},
+			{"sel50", []convert.Predicate{{Column: 0, Op: convert.PredEq, Value: []byte("1")}}},
+			{"sel10", []convert.Predicate{{Column: 10, Op: convert.PredFloatRange, FloatLo: 0, FloatHi: 5.99}}},
+			{"sel1", []convert.Predicate{{Column: 10, Op: convert.PredFloatRange, FloatLo: 0, FloatHi: 0.59}}},
+		}
+	default: // yelp
+		return []ws{
+			{"sel100", nil},
+			{"sel50", []convert.Predicate{{Column: 4, Op: convert.PredIntRange, IntLo: 0, IntHi: 24}}},
+			{"sel10", []convert.Predicate{{Column: 4, Op: convert.PredIntRange, IntLo: 0, IntHi: 4}}},
+			{"sel1", []convert.Predicate{
+				{Column: 3, Op: convert.PredEq, Value: []byte("1")},
+				{Column: 5, Op: convert.PredIntRange, IntLo: 0, IntHi: 0},
+			}},
+		}
+	}
+}
+
+// pushdownBenchSelect returns the projection shapes of the pushdown
+// ablation: every column, roughly half, and one narrow column.
+func pushdownBenchSelect(spec string) []struct {
+	name string
+	sel  []int
+} {
+	type ps = struct {
+		name string
+		sel  []int
+	}
+	switch spec {
+	case "taxi": // 17 columns
+		return []ps{
+			{"full-cols", nil},
+			{"half-cols", []int{0, 1, 3, 4, 5, 6, 10, 16}},
+			{"single-col", []int{10}},
+		}
+	default: // yelp, 9 columns
+		return []ps{
+			{"full-cols", nil},
+			{"half-cols", []int{0, 3, 4, 8}},
+			{"single-col", []int{3}},
+		}
+	}
+}
+
+// BenchmarkAblationPushdown quantifies projection and predicate
+// pushdown (ScanOptions) on the full pipeline: selectivity 100/50/10/1%
+// × full/half/single-column projection, per workload. sel100/full-cols
+// is the unchanged full parse and doubles as the baseline; every other
+// cell prunes rows before partitioning and suppresses unselected
+// columns' symbol movement. The rows-pruned and bytes-skipped metrics
+// record how much work the plan proved unnecessary; device-bytes shows
+// the arena footprint shrinking with the moved volume.
+func BenchmarkAblationPushdown(b *testing.B) {
+	for _, spec := range benchSpecs {
+		input := spec.Generate(benchSize, 42)
+		for _, ws := range pushdownBenchWhere(spec.Name) {
+			for _, ps := range pushdownBenchSelect(spec.Name) {
+				b.Run(fmt.Sprintf("%s/%s/%s", spec.Name, ws.name, ps.name), func(b *testing.B) {
+					arena := device.NewArena()
+					opts := core.Options{
+						Schema:        spec.Schema,
+						Arena:         arena,
+						Where:         ws.where,
+						SelectColumns: ps.sel,
+					}
+					b.SetBytes(int64(len(input)))
+					b.ReportAllocs()
+					b.ResetTimer()
+					var st core.Stats
+					for i := 0; i < b.N; i++ {
+						arena.Reset()
+						res, err := core.Parse(input, opts)
+						if err != nil {
+							b.Fatal(err)
+						}
+						st = res.Stats
+					}
+					b.ReportMetric(float64(st.DeviceBytes), "device-bytes")
+					b.ReportMetric(float64(st.RowsPruned), "rows-pruned")
+					b.ReportMetric(float64(st.BytesSkipped), "bytes-skipped")
+				})
+			}
+		}
+	}
+}
+
 // BenchmarkConvertParsers times each numeric/temporal field parser on
 // representative field shapes, SWAR dispatch vs scalar reference — the
 // per-parser ns trajectory behind the convert phase's device time. Each

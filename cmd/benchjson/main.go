@@ -43,6 +43,11 @@ type Result struct {
 	// attributed to the host vs the pipeline.
 	Cores    float64 `json:"cores,omitempty"`
 	InFlight float64 `json:"in_flight,omitempty"`
+	// RowsPruned and BytesSkipped annotate the pushdown ablation
+	// (BenchmarkAblationPushdown): rows the Where predicates pruned and
+	// symbol bytes the partition scatter never moved.
+	RowsPruned   float64 `json:"rows_pruned,omitempty"`
+	BytesSkipped float64 `json:"bytes_skipped,omitempty"`
 }
 
 func main() {
@@ -125,6 +130,10 @@ func parseBench(r io.Reader) (map[string]Result, error) {
 				res.Cores = v
 			case "in-flight":
 				res.InFlight = v
+			case "rows-pruned":
+				res.RowsPruned = v
+			case "bytes-skipped":
+				res.BytesSkipped = v
 			}
 		}
 		results[name] = res

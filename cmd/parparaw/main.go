@@ -7,7 +7,22 @@
 //
 //	parparaw [-header] [-delim ,] [-comment '#'] [-mode tagged|inline|delimited]
 //	         [-stream] [-partition-size 32MB] [-inflight N] [-v]
-//	         [-head 10] [-validate] file.csv
+//	         [-select 0,3,5] [-where '1=JFK;4:int:0:100'] [-head 10]
+//	         [-validate] file.csv
+//
+// -select projects the output down to the listed column indices, and
+// -where keeps only rows passing every listed predicate; both are pushed
+// into the parse plan (ScanOptions), so pruned columns and rows are
+// skipped before partitioning, not dropped afterwards. Predicates are
+// separated by ';' and reference pre-selection column indices:
+//
+//	col=value        field equals value
+//	col!=value       field differs from value
+//	col^=prefix      field starts with prefix
+//	col:null         field is empty
+//	col:notnull      field is non-empty
+//	col:int:lo:hi    field parses as an integer in [lo, hi]
+//	col:float:lo:hi  field parses as a float in [lo, hi]
 //
 // With no file argument, standard input is read. Input is always
 // consumed through the Reader path — files are never loaded whole: in
@@ -40,7 +55,9 @@ func main() {
 	partition := flag.String("partition-size", "32MB", "streaming partition size")
 	flag.StringVar(partition, "partition", *partition, "alias for -partition-size")
 	inFlight := flag.Int("inflight", 0, "streaming partitions in flight (0 = GOMAXPROCS-derived, 1 = serial)")
-	verbose := flag.Bool("v", false, "print per-stage busy times for streaming runs")
+	verbose := flag.Bool("v", false, "print per-stage busy times and pushdown pruning counters")
+	selectSpec := flag.String("select", "", "comma-separated column indices to keep (projection pushdown)")
+	whereSpec := flag.String("where", "", "semicolon-separated row predicates (predicate pushdown); see package doc")
 	head := flag.Int("head", 0, "print the first N rows")
 	validate := flag.Bool("validate", false, "fail on format violations")
 	chunk := flag.Int("chunk", 0, "chunk size in bytes (default 31)")
@@ -61,7 +78,7 @@ func main() {
 		}
 	}
 
-	err := run(*header, *delim, *comment, *crlf, *mode, *streamFlag, *partition, *inFlight, *verbose, *head, *validate, *chunk, flag.Arg(0))
+	err := run(*header, *delim, *comment, *crlf, *mode, *streamFlag, *partition, *inFlight, *verbose, *selectSpec, *whereSpec, *head, *validate, *chunk, flag.Arg(0))
 
 	if *cpuprofile != "" {
 		pprof.StopCPUProfile()
@@ -86,7 +103,7 @@ func main() {
 	}
 }
 
-func run(header bool, delim, comment string, crlf bool, modeName string, streaming bool, partition string, inFlight int, verbose bool, head int, validate bool, chunk int, path string) error {
+func run(header bool, delim, comment string, crlf bool, modeName string, streaming bool, partition string, inFlight int, verbose bool, selectSpec, whereSpec string, head int, validate bool, chunk int, path string) error {
 	var input io.Reader
 	if path == "" || path == "-" {
 		input = os.Stdin
@@ -131,6 +148,20 @@ func run(header bool, delim, comment string, crlf bool, modeName string, streami
 		Validate:  validate,
 		InFlight:  inFlight,
 	}
+	if selectSpec != "" {
+		sel, err := parseSelect(selectSpec)
+		if err != nil {
+			return err
+		}
+		opts.Scan.Select = sel
+	}
+	if whereSpec != "" {
+		where, err := parseWhere(whereSpec)
+		if err != nil {
+			return err
+		}
+		opts.Scan.Where = where
+	}
 
 	var table *parparaw.Table
 	var stats string
@@ -161,6 +192,10 @@ func run(header bool, delim, comment string, crlf bool, modeName string, streami
 				stats += fmt.Sprintf("\nboundary pre-scan fell back to serial carry on %d/%d partitions",
 					s.SerialFallbacks, s.Partitions)
 			}
+			if s.RowsPruned > 0 || s.BytesSkipped > 0 {
+				stats += fmt.Sprintf("\npushdown: %d rows pruned, %d symbol bytes never moved",
+					s.RowsPruned, s.BytesSkipped)
+			}
 		}
 	} else {
 		res, err := parparaw.ParseReader(input, opts)
@@ -170,6 +205,10 @@ func run(header bool, delim, comment string, crlf bool, modeName string, streami
 		table = res.Table
 		stats = fmt.Sprintf("parsed %d chunks at %.1f MB/s (device time %v, device mem %d B)",
 			res.Stats.Chunks, res.Stats.Throughput()/1e6, res.Stats.DeviceTime, res.Stats.DeviceBytes)
+		if verbose && (res.Stats.RowsPruned > 0 || res.Stats.BytesSkipped > 0) {
+			stats += fmt.Sprintf("\npushdown: %d rows pruned, %d symbol bytes never moved",
+				res.Stats.RowsPruned, res.Stats.BytesSkipped)
+		}
 	}
 	wall := time.Since(begin)
 
@@ -212,6 +251,104 @@ func displayName(path string) string {
 		return "stdin"
 	}
 	return path
+}
+
+// parseSelect parses a -select spec: comma-separated column indices.
+func parseSelect(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("invalid -select column %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// parseWhere parses a -where spec: semicolon-separated predicates in the
+// grammar of the package doc.
+func parseWhere(s string) ([]parparaw.Predicate, error) {
+	var out []parparaw.Predicate
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		p, err := parsePredicate(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -where spec")
+	}
+	return out, nil
+}
+
+func parsePredicate(s string) (parparaw.Predicate, error) {
+	bad := func() (parparaw.Predicate, error) {
+		return parparaw.Predicate{}, fmt.Errorf("invalid -where predicate %q", s)
+	}
+	// Find where the column index ends: the first non-digit byte.
+	i := 0
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		i++
+	}
+	if i == 0 || i == len(s) {
+		return bad()
+	}
+	col, err := strconv.Atoi(s[:i])
+	if err != nil {
+		return bad()
+	}
+	rest := s[i:]
+	switch {
+	case strings.HasPrefix(rest, "!="):
+		return parparaw.Ne(col, rest[2:]), nil
+	case strings.HasPrefix(rest, "^="):
+		return parparaw.Prefix(col, rest[2:]), nil
+	case strings.HasPrefix(rest, "="):
+		return parparaw.Eq(col, rest[1:]), nil
+	case rest == ":null":
+		return parparaw.IsNull(col), nil
+	case rest == ":notnull":
+		return parparaw.NotNull(col), nil
+	case strings.HasPrefix(rest, ":int:"):
+		lo, hi, ok := splitRange(rest[len(":int:"):])
+		if !ok {
+			return bad()
+		}
+		l, err1 := strconv.ParseInt(lo, 10, 64)
+		h, err2 := strconv.ParseInt(hi, 10, 64)
+		if err1 != nil || err2 != nil {
+			return bad()
+		}
+		return parparaw.IntRange(col, l, h), nil
+	case strings.HasPrefix(rest, ":float:"):
+		lo, hi, ok := splitRange(rest[len(":float:"):])
+		if !ok {
+			return bad()
+		}
+		l, err1 := strconv.ParseFloat(lo, 64)
+		h, err2 := strconv.ParseFloat(hi, 64)
+		if err1 != nil || err2 != nil {
+			return bad()
+		}
+		return parparaw.FloatRange(col, l, h), nil
+	}
+	return bad()
+}
+
+// splitRange splits "lo:hi" at the last ':' so negative bounds keep
+// their leading '-'.
+func splitRange(s string) (lo, hi string, ok bool) {
+	j := strings.LastIndexByte(s, ':')
+	if j <= 0 || j == len(s)-1 {
+		return "", "", false
+	}
+	return s[:j], s[j+1:], true
 }
 
 func parseSize(s string) (int, error) {

@@ -289,7 +289,10 @@ func TestConvertWorkersRecycledArenaParity(t *testing.T) {
 		}
 		for _, w := range convertWorkerCounts() {
 			arena := device.NewArena()
-			opts := Options{Schema: schema, Mode: mode, ConvertWorkers: w}.internal(core.TrailingRecord)
+			opts, err := Options{Schema: schema, Mode: mode, ConvertWorkers: w}.internal(core.TrailingRecord)
+			if err != nil {
+				t.Fatalf("%s/workers=%d: internal options: %v", mode, w, err)
+			}
 			opts.Arena = arena
 			if _, err := core.Parse(poison, opts); err != nil {
 				t.Fatalf("%s/workers=%d: poison parse: %v", mode, w, err)

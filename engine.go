@@ -40,7 +40,11 @@ type Engine struct {
 // (duplicate column selections, unsorted skip lists, …) are reported
 // here, before any input is accepted.
 func NewEngine(opts Options) (*Engine, error) {
-	plan, err := core.Compile(opts.internal(core.TrailingRecord))
+	copts, err := opts.internal(core.TrailingRecord)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := core.Compile(copts)
 	if err != nil {
 		return nil, err
 	}
@@ -235,6 +239,8 @@ func (e *Engine) StreamReader(r io.Reader, cfg StreamConfig) (*StreamResult, err
 		MaxCarryOver:    res.Stats.MaxCarryOver,
 		DeviceBytes:     res.Stats.DeviceBytes,
 		InvalidInput:    res.Stats.InvalidInput,
+		RowsPruned:      res.Stats.RowsPruned,
+		BytesSkipped:    res.Stats.BytesSkipped,
 		InFlight:        res.Stats.InFlight,
 		SerialFallbacks: res.Stats.SerialFallbacks,
 		ReadBusy:        res.Stats.ReadBusy,
@@ -326,7 +332,11 @@ func (p *ringParser) parse(arena *device.Arena, part []byte, final bool) (stream
 		return stream.PartitionResult{}, err
 	}
 	if p.first {
-		if !final && res.Table.NumRows() == 0 {
+		// RowsPruned > 0 means the partition did hold complete data
+		// records — Where just rejected them all. The header was consumed
+		// and inference saw the pre-filter rows, so the first partition is
+		// settled exactly as if the rows had survived.
+		if !final && res.Table.NumRows() == 0 && res.Stats.RowsPruned == 0 {
 			if p.trimming {
 				// The partition is too small to hold the skipped
 				// rows, the header, and one complete record — a
@@ -336,7 +346,11 @@ func (p *ringParser) parse(arena *device.Arena, part []byte, final bool) (stream
 				// next, larger attempt and stay in first-partition
 				// mode. The carry this accumulates is bounded by
 				// the position of the first data record.
-				return stream.PartitionResult{CompleteBytes: 0, Invalid: res.Stats.InvalidInput}, nil
+				return stream.PartitionResult{
+					CompleteBytes: 0,
+					Invalid:       res.Stats.InvalidInput,
+					BytesSkipped:  res.Stats.BytesSkipped,
+				}, nil
 			}
 			// Without header/skip trimming there is nothing to
 			// re-consume: hand back any completed rowless records
@@ -347,6 +361,7 @@ func (p *ringParser) parse(arena *device.Arena, part []byte, final bool) (stream
 			return stream.PartitionResult{
 				CompleteBytes: len(part) - res.Remainder,
 				Invalid:       res.Stats.InvalidInput,
+				BytesSkipped:  res.Stats.BytesSkipped,
 			}, nil
 		}
 		p.header = res.Header
@@ -360,6 +375,8 @@ func (p *ringParser) parse(arena *device.Arena, part []byte, final bool) (stream
 		Table:         res.Table,
 		CompleteBytes: len(part) - res.Remainder,
 		Invalid:       res.Stats.InvalidInput,
+		RowsPruned:    res.Stats.RowsPruned,
+		BytesSkipped:  res.Stats.BytesSkipped,
 	}, nil
 }
 
@@ -384,6 +401,8 @@ func streamedResult(sres *StreamResult) (*Result, error) {
 			Records:      int64(combined.NumRows()),
 			Columns:      combined.NumColumns(),
 			InvalidInput: sres.Stats.InvalidInput,
+			RowsPruned:   sres.Stats.RowsPruned,
+			BytesSkipped: sres.Stats.BytesSkipped,
 			Duration:     sres.Stats.Duration,
 			DeviceBytes:  sres.Stats.DeviceBytes,
 		},

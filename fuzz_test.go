@@ -26,6 +26,36 @@ func inFlightFromFuzz(raw uint8) int {
 	return []int{1, 2, 4, 7}[raw%4]
 }
 
+// whereFromFuzz derives a Where list from fuzzed bytes: the predicate
+// shape from raw, the column from col, and the comparison operand from
+// the input's own bytes (so equality/prefix predicates sometimes match).
+func whereFromFuzz(raw uint8, col int, input []byte) []Predicate {
+	operand := ""
+	if len(input) > 0 {
+		end := 1 + int(raw)%3
+		if end > len(input) {
+			end = len(input)
+		}
+		operand = string(input[:end])
+	}
+	switch raw % 7 {
+	case 0:
+		return []Predicate{NotNull(col)}
+	case 1:
+		return []Predicate{IsNull(col)}
+	case 2:
+		return []Predicate{Eq(col, operand)}
+	case 3:
+		return []Predicate{Ne(col, operand)}
+	case 4:
+		return []Predicate{Prefix(col, operand)}
+	case 5:
+		return []Predicate{IntRange(col, -1000, 1000)}
+	default:
+		return []Predicate{FloatRange(col, -1e6, 1e6), NotNull(col)}
+	}
+}
+
 // FuzzStreamReader parses the same bytes twice — whole-input Parse and
 // StreamReader with a fuzzed partition size, chunk size, convert worker
 // count, and in-flight ring depth — and asserts identical tables:
@@ -56,6 +86,13 @@ func FuzzStreamReader(f *testing.F) {
 			ConvertWorkers: workers,
 			InFlight:       inFlightFromFuzz(inFlightRaw),
 		}
+		// A fuzzed Where list rides along on every streamed parse (the
+		// high partition-size byte picks the shape), pruning rows across
+		// partition boundaries; the whole-input reference below evaluates
+		// the same predicates on the post-materialisation path.
+		if cols := whole.Table.NumColumns(); cols > 0 {
+			opts.Scan.Where = whereFromFuzz(uint8(partRaw>>8), int(chunkRaw)%cols, input)
+		}
 		streamed, err := StreamReader(bytes.NewReader(input), StreamOptions{
 			Options:       opts,
 			PartitionSize: partSize,
@@ -69,9 +106,11 @@ func FuzzStreamReader(f *testing.F) {
 			t.Fatalf("Combined failed on %q: %v", input, err)
 		}
 		// Re-parse with the pinned schema — and the sequential convert
-		// loop — so the streamed parallel-convert output is checked
-		// against the reference path's materialisation.
+		// loop, and Where on the post-materialisation path — so the
+		// streamed pushdown output is checked against the reference
+		// path's materialisation.
 		opts.ConvertWorkers = 1
+		opts.Scan.NoPushdown = true
 		want, err := Parse(input, opts)
 		if err != nil {
 			t.Fatalf("re-Parse failed on %q: %v", input, err)
@@ -131,6 +170,42 @@ func FuzzParse(f *testing.F) {
 		for i := range a {
 			if a[i] != b[i] {
 				t.Fatalf("row %d: %q vs sequential %q on %q", i, a[i], b[i], input)
+			}
+		}
+
+		// Pushdown parity: the same parse with a fuzzed Where list must
+		// be byte-identical whether the rows are pruned inside the plan
+		// (Schema fixed, pushdown) or dropped from the materialised table
+		// (Scan.NoPushdown, the reference path).
+		if cols := res.Table.NumColumns(); cols > 0 {
+			popts := Options{
+				ChunkSize:      chunk,
+				Schema:         res.Table.Schema(),
+				ConvertWorkers: convertWorkersFromFuzz(workersRaw),
+			}
+			popts.Scan.Where = whereFromFuzz(fastRaw, int(chunkRaw)%cols, input)
+			push, err := Parse(input, popts)
+			if err != nil {
+				t.Fatalf("pushdown Parse failed on %q: %v", input, err)
+			}
+			popts.Scan.NoPushdown = true
+			post, err := Parse(input, popts)
+			if err != nil {
+				t.Fatalf("post-hoc Parse failed on %q: %v", input, err)
+			}
+			if push.Table.NumRows() != post.Table.NumRows() {
+				t.Fatalf("pushdown rows %d vs post-hoc %d on %q (where=%v)",
+					push.Table.NumRows(), post.Table.NumRows(), input, popts.Scan.Where)
+			}
+			e, g := tableRows(push.Table), tableRows(post.Table)
+			for i := range e {
+				if e[i] != g[i] {
+					t.Fatalf("pushdown row %d: %q vs post-hoc %q on %q", i, e[i], g[i], input)
+				}
+			}
+			if push.Stats.RowsPruned != post.Stats.RowsPruned {
+				t.Fatalf("RowsPruned %d (pushdown) vs %d (post-hoc) on %q",
+					push.Stats.RowsPruned, post.Stats.RowsPruned, input)
 			}
 		}
 

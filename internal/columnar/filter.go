@@ -1,0 +1,106 @@
+package columnar
+
+import "fmt"
+
+// FilterRows returns a table holding only the rows i with keep[i] true,
+// in their original order. Buffers are rebuilt densely (string data is
+// re-concatenated, not aliased with stale gaps), the validity vector is
+// normalised to nil when every kept row is valid, and the rejected
+// vector to nil when no kept row is rejected — the same normalisations
+// Builder.Finish and the convert stage apply, so a filtered table is
+// byte-identical to one materialised from the kept rows alone. It is the
+// post-hoc half of core's predicate pushdown.
+func FilterRows(t *Table, keep []bool) (*Table, error) {
+	if len(keep) != t.rows {
+		return nil, fmt.Errorf("columnar: filter mask has %d entries for %d rows", len(keep), t.rows)
+	}
+	kept := 0
+	for _, k := range keep {
+		if k {
+			kept++
+		}
+	}
+	if kept == t.rows {
+		return t, nil
+	}
+	columns := make([]*Column, len(t.columns))
+	for i, c := range t.columns {
+		columns[i] = filterColumn(c, keep, kept)
+	}
+	var rejected []bool
+	if t.rejected != nil {
+		out := make([]bool, kept)
+		j, any := 0, false
+		for i, k := range keep {
+			if k {
+				out[j] = t.rejected[i]
+				any = any || t.rejected[i]
+				j++
+			}
+		}
+		if any {
+			rejected = out
+		}
+	}
+	return NewTable(t.schema, columns, rejected)
+}
+
+func filterColumn(c *Column, keep []bool, kept int) *Column {
+	out := &Column{field: c.field, n: kept}
+	if c.valid != nil {
+		valid := make([]bool, kept)
+		j, anyNull := 0, false
+		for i, k := range keep {
+			if k {
+				valid[j] = c.valid[i]
+				anyNull = anyNull || !c.valid[i]
+				j++
+			}
+		}
+		if anyNull {
+			out.valid = valid
+		}
+	}
+	switch {
+	case c.offsets != nil || c.field.Type == String:
+		offsets := make([]int32, kept+1)
+		var total int32
+		j := 0
+		for i, k := range keep {
+			if k {
+				offsets[j] = total
+				total += c.offsets[i+1] - c.offsets[i]
+				j++
+			}
+		}
+		offsets[kept] = total
+		data := make([]byte, total)
+		j = 0
+		for i, k := range keep {
+			if k {
+				copy(data[offsets[j]:offsets[j+1]], c.data[c.offsets[i]:c.offsets[i+1]])
+				j++
+			}
+		}
+		out.offsets, out.data = offsets, data
+	case c.floats != nil:
+		out.floats = filterSlice(c.floats, keep, kept)
+	case c.bools != nil:
+		out.bools = filterSlice(c.bools, keep, kept)
+	default:
+		out.ints = filterSlice(c.ints, keep, kept)
+	}
+	return out
+}
+
+func filterSlice[T any](src []T, keep []bool, kept int) []T {
+	out := make([]T, kept)
+	j := 0
+	for i, k := range keep {
+		if k {
+			out[j] = src[i]
+			j++
+		}
+	}
+	return out
+}

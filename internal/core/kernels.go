@@ -41,6 +41,7 @@ var kernelPipeline = []kernelStage{
 	{"scanStates", (*pipeline).scanStates},
 	{"emitBitmaps", (*pipeline).emitBitmapsStage},
 	{"offsetScans", (*pipeline).offsetScans},
+	{"filterRows", (*pipeline).filterRows},
 	{"tagSymbols", (*pipeline).tagSymbolsStage},
 	{"partitionScatter", (*pipeline).partitionScatter},
 	{"convertColumns", (*pipeline).convertColumns},
@@ -198,25 +199,32 @@ func (p *pipeline) tagSymbolsStage() error {
 func (p *pipeline) partitionScatter() error {
 	d, n := p.Device, len(p.input)
 	numKeys := int(p.sentinel) + 1
+	kept := p.keptSyms
+	// Sentinel symbols — structural bytes, unselected columns, rows
+	// pruned by SkipRecords or a pushed-down Where — are histogrammed
+	// (the CSS boundaries need every key's count) but never moved: the
+	// sorted buffers hold only the kept symbols, and the skipped device
+	// traffic is the projection/predicate pushdown's saving.
+	p.stats.BytesSkipped = int64(n - kept)
 	pay := radix.ScatterPayloads{SymsSrc: p.input}
 	if p.Mode == css.InlineTerminated {
 		pay.SymsSrc = p.tags.rewrite
 	}
-	// The scatter is a permutation: every output position of every
-	// payload stream is written exactly once, so the sorted buffers skip
-	// the recycled-memory zeroing (the memclr was ~7% of a steady-state
-	// taxi parse).
-	p.sortedSyms = device.AllocDirty[byte](p.Arena, n)
+	// The scatter is a permutation of the kept symbols: every output
+	// position of every payload stream is written exactly once, so the
+	// sorted buffers skip the recycled-memory zeroing (the memclr was
+	// ~7% of a steady-state taxi parse).
+	p.sortedSyms = device.AllocDirty[byte](p.Arena, kept)
 	pay.SymsDst = p.sortedSyms
 	if p.Mode == css.RecordTagged {
-		p.sortedRecs = device.AllocDirty[uint32](p.Arena, n)
+		p.sortedRecs = device.AllocDirty[uint32](p.Arena, kept)
 		pay.RecsDst, pay.RecsSrc = p.sortedRecs, p.tags.recTags
 	}
 	if p.Mode == css.VectorDelimited {
-		p.sortedAux = device.AllocDirty[bool](p.Arena, n)
+		p.sortedAux = device.AllocDirty[bool](p.Arena, kept)
 		pay.AuxDst, pay.AuxSrc = p.sortedAux, p.tags.aux
 	}
-	p.hist, p.colStart = radix.CountingScatterArena(d, p.Arena, "partition", p.tags.colTags, numKeys, pay)
+	p.hist, p.colStart = radix.CountingScatterArena(d, p.Arena, "partition", p.tags.colTags, numKeys, int(p.sentinel), pay)
 	p.tags = nil // tag buffers are dead after the scatter
 	return nil
 }
@@ -270,6 +278,12 @@ func (p *pipeline) convertColumns() error {
 	table, err := columnar.NewTable(columnar.NewSchema(outFields...), columns, rejected)
 	if err != nil {
 		return err
+	}
+	if p.postFilter {
+		table, err = p.applyPostFilter(table)
+		if err != nil {
+			return err
+		}
 	}
 	p.table = table
 	return nil

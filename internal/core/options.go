@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/columnar"
+	"repro/internal/convert"
 	"repro/internal/css"
 	"repro/internal/device"
 	"repro/internal/dfa"
@@ -76,6 +77,20 @@ type Options struct {
 	// SkipRecords drops the listed record indices (0-based, pre-skip
 	// numbering, sorted ascending) from the output.
 	SkipRecords []int64
+	// Where lists raw-byte row predicates (conjunction): rows failing any
+	// predicate are excluded from the output. With a fixed Schema the
+	// pipeline prunes failing rows before the partition and convert
+	// stages (predicate pushdown), so they never materialise; with an
+	// inferred schema — where types must be inferred from the full input
+	// — and under NoPushdown, the same predicate set is evaluated at the
+	// same point but the pruning is applied to the materialised table
+	// instead. Output is byte-identical either way.
+	Where []convert.Predicate
+	// NoPushdown forces the post-materialisation pruning path for Where
+	// even when a Schema is present — the pushdown-on/off ablation axis
+	// and the parity/fuzz reference path. Output is identical; only where
+	// the rows are dropped changes.
+	NoPushdown bool
 	// ExpectedColumns fixes the input's column count. 0 infers it from
 	// the input (§4.3 "Inferring or validating number of columns").
 	ExpectedColumns int
@@ -233,6 +248,17 @@ type Stats struct {
 	// non-accepting end state (only set when Options.Validate is false;
 	// with Validate the parse fails instead).
 	InvalidInput bool
+	// RowsPruned is the number of rows dropped by the Where predicates
+	// (not counting rows already dropped via SkipRecords). It is set on
+	// both the pushdown and the post-materialisation pruning paths.
+	RowsPruned int64
+	// BytesSkipped is the number of input symbols excluded from the
+	// partition and convert stages: structural bytes (delimiters,
+	// quotes), the data of unselected columns, and the data of rows
+	// pruned by Where or SkipRecords. These symbols are histogrammed but
+	// never moved — the projection/predicate pushdown's saving in device
+	// traffic.
+	BytesSkipped int64
 	// Phases holds the per-phase device time of this run (Figure 9's
 	// breakdown): parse, scan, tag, partition, convert.
 	Phases map[string]time.Duration

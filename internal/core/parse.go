@@ -72,8 +72,15 @@ type pipeline struct {
 	colMap        []uint32 // input column -> output column or sentinel
 	sentinel      uint32
 
+	// filterRows → tagSymbols/partitionScatter/convertColumns (Where).
+	pushdown   bool    // prune failing rows before the partition/convert stages
+	postFilter bool    // prune failing rows from the materialised table instead
+	dropped    []bool  // per input record: failed the Where conjunction
+	dropRank   []int64 // exclusive prefix count of dropped records (pushdown only)
+
 	tags     *tagBuffers
 	rejected []bool
+	keptSyms int // symbols with a non-sentinel column tag (set by tagSymbols)
 
 	// partitionScatter → convertColumns.
 	hist       []int64

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/columnar"
+	"repro/internal/convert"
 	"repro/internal/css"
 	"repro/internal/device"
 	"repro/internal/dfa"
@@ -614,6 +615,9 @@ func TestArenaPhaseAccounting(t *testing.T) {
 	arena := device.NewArena()
 	opts := testOpts()
 	opts.Arena = arena
+	// A Where predicate makes the optional filterRows stage draw arena
+	// memory too, so the loop below can insist on every stage.
+	opts.Where = []convert.Predicate{{Column: 0, Op: convert.PredNotNull}}
 	input := strings.Repeat("12,\"a,b\",3.5\n", 200)
 	res, err := Parse([]byte(input), opts)
 	if err != nil {

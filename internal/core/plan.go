@@ -60,6 +60,21 @@ func Compile(opts Options) (*Plan, error) {
 	if o.ExpectedColumns < 0 {
 		return nil, fmt.Errorf("core: ExpectedColumns %d is negative", o.ExpectedColumns)
 	}
+	// Where predicates are validated against the column count when it is
+	// known up front (fixed schema or ExpectedColumns); otherwise only
+	// the input-independent checks apply and out-of-range columns read as
+	// missing fields at execution, like any ragged record.
+	numCols := 0
+	if o.Schema != nil {
+		numCols = o.Schema.NumColumns()
+	} else if o.ExpectedColumns > 0 {
+		numCols = o.ExpectedColumns
+	}
+	for i, pr := range o.Where {
+		if err := pr.Validate(numCols); err != nil {
+			return nil, fmt.Errorf("core: Where[%d]: %w", i, err)
+		}
+	}
 	return &Plan{opts: o}, nil
 }
 

@@ -70,6 +70,18 @@ func (p *pipeline) tagSymbols() []bool {
 	}
 	inconsistent := p.RejectInconsistent
 	skip := p.SkipRecords
+	// Under predicate pushdown, records dropped by Where tag exactly like
+	// skipped records (all their symbols get the sentinel key) and the
+	// kept records renumber densely via the drop-rank prefix. On the
+	// post-hoc path dropped stays nil: rows prune from the table instead.
+	dropped := p.dropped
+	if !p.pushdown {
+		dropped = nil
+	}
+	// Per-chunk sentinel-symbol counts: summed below into keptSyms, the
+	// partition stage's output size (sentinel symbols are histogrammed but
+	// never moved).
+	sentCounts := device.Alloc[int64](p.Arena, p.chunks)
 	bm := p.bitmaps
 
 	p.Device.Launch("tag", p.chunks, func(c int) {
@@ -77,8 +89,13 @@ func (p *pipeline) tagSymbols() []bool {
 		rec := p.recBase[c]
 		col := p.colBase[c].Value
 		// skipPtr is the lower bound of rec in the skip list; rec - skipPtr
-		// is the output record index.
+		// - dropBefore is the output record index.
 		skipPtr := sort.Search(len(skip), func(i int) bool { return skip[i] >= rec })
+		var dropBefore int64
+		if dropped != nil {
+			dropBefore = p.dropRank[rec]
+		}
+		var sent int64
 		// Every non-data symbol (record delimiter, field delimiter,
 		// control) carries the control bit, so the clear runs of the
 		// control bitmap are exactly the data runs — and within one data
@@ -115,18 +132,27 @@ func (p *pipeline) tagSymbols() []bool {
 			// TrailingRemainder mode) are irrelevant, like skipped records.
 			inSkipList := skipPtr < len(skip) && skip[skipPtr] == rec
 			recSkipped := inSkipList || rec >= p.numRecords
-			outRec := rec - int64(skipPtr)
+			recDropped := dropped != nil && rec < p.numRecords && dropped[rec]
+			irrelevant := recSkipped || recDropped
+			outRec := rec - int64(skipPtr) - dropBefore
 
 			next := nextStructural()
 			if next > i {
-				// Data run [i, next): one key, one record tag.
-				key := p.mapColumn(col, recSkipped)
+				// Data run [i, next): one key, one record tag. Sentinel
+				// runs (unselected columns, skipped/dropped records) skip
+				// the payload fills: their stale payload bytes are never
+				// moved by the partition stage, let alone read.
+				key := p.mapColumn(col, irrelevant)
 				fill32(t.colTags[i:next], key)
-				switch p.Mode {
-				case css.RecordTagged:
-					fill32(t.recTags[i:next], uint32(outRec))
-				case css.InlineTerminated:
-					copy(t.rewrite[i:next], p.input[i:next])
+				if key == p.sentinel {
+					sent += int64(next - i)
+				} else {
+					switch p.Mode {
+					case css.RecordTagged:
+						fill32(t.recTags[i:next], uint32(outRec))
+					case css.InlineTerminated:
+						copy(t.rewrite[i:next], p.input[i:next])
+					}
 				}
 				i = next
 				if i >= hi {
@@ -137,8 +163,8 @@ func (p *pipeline) tagSymbols() []bool {
 			// Structural byte i.
 			switch {
 			case bm.record.Get(i):
-				p.tagDelimiter(t, i, col, outRec, recSkipped)
-				if inconsistent && !recSkipped && col+1 != p.numColumns {
+				sent += p.tagDelimiter(t, i, col, outRec, irrelevant)
+				if inconsistent && !irrelevant && col+1 != p.numColumns {
 					rejected[outRec] = true
 				}
 				rec++
@@ -146,22 +172,36 @@ func (p *pipeline) tagSymbols() []bool {
 				if inSkipList {
 					skipPtr++
 				}
+				if recDropped {
+					dropBefore++
+				}
 			case bm.field.Get(i):
-				p.tagDelimiter(t, i, col, outRec, recSkipped)
+				sent += p.tagDelimiter(t, i, col, outRec, irrelevant)
 				col++
 			default: // control symbol that delimits nothing
 				t.colTags[i] = p.sentinel
+				sent++
 			}
 			i++
 		}
+		sentCounts[c] = sent
 	})
 
+	var sentTotal int64
+	for _, s := range sentCounts {
+		sentTotal += s
+	}
+	p.keptSyms = n - int(sentTotal)
+
 	// The trailing record has no closing delimiter, so its column count
-	// is checked against the final column-offset state here.
+	// is checked against the final column-offset state here. A skipped or
+	// pushdown-dropped trailing record is absent from the output and
+	// checks nothing.
 	if inconsistent && p.trailing {
 		lastOut := p.numOutRecords - 1
 		lastSkipped := len(skip) > 0 && skip[len(skip)-1] == p.numRecords-1
-		if !lastSkipped && p.colTotal.Value+1 != p.numColumns {
+		lastDropped := dropped != nil && dropped[p.numRecords-1]
+		if !lastSkipped && !lastDropped && p.colTotal.Value+1 != p.numColumns {
 			rejected[lastOut] = true
 		}
 	}
@@ -169,23 +209,33 @@ func (p *pipeline) tagSymbols() []bool {
 }
 
 // tagDelimiter assigns a field/record delimiter to the column of the
-// field it terminates. In RecordTagged mode delimiters are irrelevant
-// (record association comes from the tags); in the inline mode the
-// delimiter byte is rewritten to the terminator; in the vector mode it
-// stays in the CSS and is marked in the aux vector (§4.1, Figure 6).
-func (p *pipeline) tagDelimiter(t *tagBuffers, i int, col int, outRec int64, recSkipped bool) {
+// field it terminates and reports whether the symbol got the sentinel
+// key (1) or a kept key (0), for the kept-symbol count. In RecordTagged
+// mode delimiters are irrelevant (record association comes from the
+// tags); in the inline mode the delimiter byte is rewritten to the
+// terminator; in the vector mode it stays in the CSS and is marked in
+// the aux vector (§4.1, Figure 6).
+func (p *pipeline) tagDelimiter(t *tagBuffers, i int, col int, outRec int64, irrelevant bool) int64 {
 	switch p.Mode {
 	case css.RecordTagged:
 		t.colTags[i] = p.sentinel
+		return 1
 	case css.InlineTerminated:
-		key := p.mapColumn(col, recSkipped)
+		key := p.mapColumn(col, irrelevant)
 		t.colTags[i] = key
+		if key == p.sentinel {
+			return 1
+		}
 		t.rewrite[i] = p.Terminator
 	case css.VectorDelimited:
-		key := p.mapColumn(col, recSkipped)
+		key := p.mapColumn(col, irrelevant)
 		t.colTags[i] = key
 		t.aux[i] = key != p.sentinel
+		if key == p.sentinel {
+			return 1
+		}
 	}
+	return 0
 }
 
 // fill32 writes v into every element of dst — the bulk tag assignment
@@ -198,9 +248,10 @@ func fill32(dst []uint32, v uint32) {
 
 // mapColumn maps an absolute input column to its output sort key,
 // applying column selection, ragged-overflow clamping, and record
-// skipping.
-func (p *pipeline) mapColumn(col int, recSkipped bool) uint32 {
-	if recSkipped || col < 0 || col >= len(p.colMap) {
+// irrelevance (skipped by SkipRecords or dropped by a pushed-down
+// Where predicate).
+func (p *pipeline) mapColumn(col int, irrelevant bool) uint32 {
+	if irrelevant || col < 0 || col >= len(p.colMap) {
 		return p.sentinel
 	}
 	return p.colMap[col]

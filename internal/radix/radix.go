@@ -140,7 +140,16 @@ type ScatterPayloads struct {
 // Returned hist[k] is the number of elements with key k and starts[k]
 // the first output index of key k (both arena-owned). Keys must lie in
 // [0, numKeys).
-func CountingScatterArena(d *device.Device, a *device.Arena, phase string, keys []uint32, numKeys int, pay ScatterPayloads) (hist, starts []int64) {
+//
+// Keys in [moveKeys, numKeys) are histogrammed but not moved: their
+// counts and starts come out like everyone else's, but the scatter pass
+// never touches their payloads and the Dst buffers need only cover the
+// moved keys' output positions. The partition stage passes its sentinel
+// key (always the largest, so the moved keys pack into a dense prefix)
+// here, which is how symbols of unselected columns and pruned rows cost
+// a histogram increment instead of a payload move. moveKeys >= numKeys
+// moves everything.
+func CountingScatterArena(d *device.Device, a *device.Arena, phase string, keys []uint32, numKeys, moveKeys int, pay ScatterPayloads) (hist, starts []int64) {
 	n := len(keys)
 	hist = device.Alloc[int64](a, numKeys)
 	starts = device.Alloc[int64](a, numKeys)
@@ -186,7 +195,12 @@ func CountingScatterArena(d *device.Device, a *device.Arena, phase string, keys 
 
 	// (3) Fused gather-scatter, stable within each tile. The per-tile
 	// cursors come from the arena, not the goroutine stack: numKeys is
-	// dynamic.
+	// dynamic. Unmoved keys (>= moveKeys) skip the loop body entirely —
+	// their cursors are initialised but never advanced.
+	mk := uint32(moveKeys)
+	if moveKeys > numKeys {
+		mk = uint32(numKeys)
+	}
 	cursors := device.Alloc[int64](a, tiles*numKeys)
 	d.LaunchBlocks(phase, tiles*bs, func(t, _, _ int) {
 		lo, hi := tileBounds(t, n)
@@ -198,6 +212,9 @@ func CountingScatterArena(d *device.Device, a *device.Arena, phase string, keys 
 		case pay.RecsDst != nil && pay.AuxDst != nil:
 			for i := lo; i < hi; i++ {
 				k := keys[i]
+				if k >= mk {
+					continue
+				}
 				pos := cur[k]
 				cur[k] = pos + 1
 				pay.SymsDst[pos] = pay.SymsSrc[i]
@@ -207,6 +224,9 @@ func CountingScatterArena(d *device.Device, a *device.Arena, phase string, keys 
 		case pay.RecsDst != nil:
 			for i := lo; i < hi; i++ {
 				k := keys[i]
+				if k >= mk {
+					continue
+				}
 				pos := cur[k]
 				cur[k] = pos + 1
 				pay.SymsDst[pos] = pay.SymsSrc[i]
@@ -215,6 +235,9 @@ func CountingScatterArena(d *device.Device, a *device.Arena, phase string, keys 
 		case pay.AuxDst != nil:
 			for i := lo; i < hi; i++ {
 				k := keys[i]
+				if k >= mk {
+					continue
+				}
 				pos := cur[k]
 				cur[k] = pos + 1
 				pay.SymsDst[pos] = pay.SymsSrc[i]
@@ -223,6 +246,9 @@ func CountingScatterArena(d *device.Device, a *device.Arena, phase string, keys 
 		default:
 			for i := lo; i < hi; i++ {
 				k := keys[i]
+				if k >= mk {
+					continue
+				}
 				pos := cur[k]
 				cur[k] = pos + 1
 				pay.SymsDst[pos] = pay.SymsSrc[i]

@@ -207,7 +207,7 @@ func TestCountingScatterMatchesSortGather(t *testing.T) {
 			gotSyms := make([]byte, n)
 			gotRecs := make([]uint32, n)
 			gotAux := make([]bool, n)
-			hist, starts := CountingScatterArena(d, nil, "t", keys, numKeys, ScatterPayloads{
+			hist, starts := CountingScatterArena(d, nil, "t", keys, numKeys, numKeys, ScatterPayloads{
 				SymsDst: gotSyms, SymsSrc: syms,
 				RecsDst: gotRecs, RecsSrc: recs,
 				AuxDst: gotAux, AuxSrc: aux,
@@ -245,7 +245,7 @@ func TestCountingScatterSymsOnly(t *testing.T) {
 	keys := []uint32{2, 0, 1, 0, 2, 1, 0}
 	syms := []byte("abcdefg")
 	dst := make([]byte, len(syms))
-	hist, starts := CountingScatterArena(d, nil, "t", keys, 3, ScatterPayloads{SymsDst: dst, SymsSrc: syms})
+	hist, starts := CountingScatterArena(d, nil, "t", keys, 3, 3, ScatterPayloads{SymsDst: dst, SymsSrc: syms})
 	if string(dst) != "bdgcfae" {
 		t.Fatalf("scattered %q", dst)
 	}
@@ -254,6 +254,46 @@ func TestCountingScatterSymsOnly(t *testing.T) {
 	}
 	if starts[0] != 0 || starts[1] != 3 || starts[2] != 5 {
 		t.Fatalf("starts %v", starts)
+	}
+}
+
+// TestCountingScatterMoveKeys pins the partial-move contract the
+// partition stage relies on for pushdown: keys >= moveKeys are counted
+// in hist/starts but their payloads never move, and the moved keys pack
+// into a dense prefix of exactly starts[moveKeys] output positions.
+func TestCountingScatterMoveKeys(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	d := device.New(device.Config{Workers: 4})
+	for _, n := range []int{1, 7, 100, tileSize + 5} {
+		const numKeys, moveKeys = 5, 3
+		keys := make([]uint32, n)
+		syms := make([]byte, n)
+		recs := make([]uint32, n)
+		for i := range keys {
+			keys[i] = uint32(rng.Intn(numKeys))
+			syms[i] = byte(rng.Intn(256))
+			recs[i] = uint32(i)
+		}
+		full := make([]byte, n)
+		fullRecs := make([]uint32, n)
+		wantHist, wantStarts := CountingScatterArena(d, nil, "t", keys, numKeys, numKeys,
+			ScatterPayloads{SymsDst: full, SymsSrc: syms, RecsDst: fullRecs, RecsSrc: recs})
+
+		movedLen := int(wantStarts[moveKeys])
+		dst := make([]byte, movedLen)
+		dstRecs := make([]uint32, movedLen)
+		hist, starts := CountingScatterArena(d, nil, "t", keys, numKeys, moveKeys,
+			ScatterPayloads{SymsDst: dst, SymsSrc: syms, RecsDst: dstRecs, RecsSrc: recs})
+		for k := 0; k < numKeys; k++ {
+			if hist[k] != wantHist[k] || starts[k] != wantStarts[k] {
+				t.Fatalf("n=%d: key %d hist/starts (%d,%d), want (%d,%d)", n, k, hist[k], starts[k], wantHist[k], wantStarts[k])
+			}
+		}
+		for i := 0; i < movedLen; i++ {
+			if dst[i] != full[i] || dstRecs[i] != fullRecs[i] {
+				t.Fatalf("n=%d: moved element %d = (%d,%d), want (%d,%d)", n, i, dst[i], dstRecs[i], full[i], fullRecs[i])
+			}
+		}
 	}
 }
 
@@ -272,11 +312,11 @@ func TestCountingScatterArenaRecycles(t *testing.T) {
 		syms[i] = byte(i)
 	}
 	dst := make([]byte, n)
-	CountingScatterArena(d, a, "t", keys, 9, ScatterPayloads{SymsDst: dst, SymsSrc: syms})
+	CountingScatterArena(d, a, "t", keys, 9, 9, ScatterPayloads{SymsDst: dst, SymsSrc: syms})
 	a.Reset()
 	reserved := a.ReservedBytes()
 	for i := 0; i < 3; i++ {
-		CountingScatterArena(d, a, "t", keys, 9, ScatterPayloads{SymsDst: dst, SymsSrc: syms})
+		CountingScatterArena(d, a, "t", keys, 9, 9, ScatterPayloads{SymsDst: dst, SymsSrc: syms})
 		a.Reset()
 	}
 	if a.ReservedBytes() != reserved {

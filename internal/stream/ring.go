@@ -175,6 +175,8 @@ func runRing(cfg Config, parser RingParser, src *Source) (*Result, error) {
 			if p.res.Invalid {
 				stats.InvalidInput = true
 			}
+			stats.RowsPruned += p.res.RowsPruned
+			stats.BytesSkipped += p.res.BytesSkipped
 			if firstErr != nil {
 				continue
 			}

@@ -60,6 +60,13 @@ type PartitionResult struct {
 	// without failing (the parser's non-erroring validation signal); the
 	// pipeline ORs it into Stats.InvalidInput.
 	Invalid bool
+	// RowsPruned is the number of rows the partition's Where predicates
+	// pruned; the pipeline sums it into Stats.RowsPruned.
+	RowsPruned int64
+	// BytesSkipped is the number of symbol bytes the partition's scatter
+	// never moved (unselected columns, pruned rows); the pipeline sums it
+	// into Stats.BytesSkipped.
+	BytesSkipped int64
 }
 
 // Parser parses one partition on the device. final is true for the last
@@ -168,6 +175,12 @@ type Stats struct {
 	// InvalidInput reports that some partition's parse flagged invalid
 	// input (PartitionResult.Invalid).
 	InvalidInput bool
+	// RowsPruned is the total number of rows pruned by Where predicates
+	// across all partitions (PartitionResult.RowsPruned summed).
+	RowsPruned int64
+	// BytesSkipped is the total number of symbol bytes the partition
+	// scatters never moved (PartitionResult.BytesSkipped summed).
+	BytesSkipped int64
 	// ReadBusy is the time the scheduler spent pulling input from the
 	// source and charging host-to-device transfers; BoundaryBusy is the
 	// time spent in record-boundary pre-scans; EmitBusy is the time the
@@ -379,6 +392,8 @@ func Run(cfg Config, parser Parser, src *Source) (*Result, error) {
 			if res.Invalid {
 				stats.InvalidInput = true
 			}
+			stats.RowsPruned += res.RowsPruned
+			stats.BytesSkipped += res.BytesSkipped
 			if !final {
 				if res.CompleteBytes < 0 || res.CompleteBytes > len(buf) {
 					fail(i, fmt.Errorf("stream: partition %d: complete bytes %d outside [0,%d]", i, res.CompleteBytes, len(buf)))

@@ -124,6 +124,11 @@ type Options struct {
 	SelectColumns []int
 	// SkipRecords drops the listed record indices (0-based, ascending).
 	SkipRecords []int64
+	// Scan pushes a projection (Select) and row predicates (Where) into
+	// the parse plan, so dropped columns and rejected rows are pruned
+	// before the partition and convert stages instead of after
+	// materialisation. See ScanOptions.
+	Scan ScanOptions
 	// ExpectedColumns fixes the input's column count; 0 infers it (§4.3).
 	ExpectedColumns int
 	// RejectInconsistent rejects records whose column count deviates
@@ -215,6 +220,15 @@ type Stats struct {
 	// InvalidInput reports a DFA-detected format violation (only set
 	// when Options.Validate is false).
 	InvalidInput bool
+	// RowsPruned is the number of rows rejected by Options.Scan.Where.
+	// Records counts only the surviving rows.
+	RowsPruned int64
+	// BytesSkipped is the number of symbol bytes the partition scatter
+	// never moved: structural bytes (delimiters, quotes) plus everything
+	// projection or predicate pushdown made irrelevant (unselected
+	// columns, pruned rows). Higher is better: it is input volume the
+	// device only had to index, not move.
+	BytesSkipped int64
 	// Phases maps each pipeline phase (parse, scan, tag, partition,
 	// convert) to its device time — the Figure 9 breakdown. In
 	// modelled-time mode (Options.VirtualWorkers) these are the modelled
@@ -262,7 +276,11 @@ var PhaseNames = core.PhaseNames
 // one configuration (or serving concurrent callers) should construct an
 // Engine once and use Engine.Parse.
 func Parse(input []byte, opts Options) (*Result, error) {
-	res, err := core.Parse(input, opts.internal(core.TrailingRecord))
+	copts, err := opts.internal(core.TrailingRecord)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Parse(input, copts)
 	if err != nil {
 		return nil, err
 	}
@@ -285,6 +303,8 @@ func wrapResult(res *core.Result) *Result {
 			MinColumns:   res.Stats.MinColumns,
 			MaxColumns:   res.Stats.MaxColumns,
 			InvalidInput: res.Stats.InvalidInput,
+			RowsPruned:   res.Stats.RowsPruned,
+			BytesSkipped: res.Stats.BytesSkipped,
 			Phases:       res.Stats.Phases,
 			DeviceTime:   deviceTime,
 			Duration:     res.Stats.Duration,
@@ -293,13 +313,22 @@ func wrapResult(res *core.Result) *Result {
 	}
 }
 
-func (o Options) internal(trailing core.TrailingMode) core.Options {
+func (o Options) internal(trailing core.TrailingMode) (core.Options, error) {
+	selected := o.SelectColumns
+	if o.Scan.Select != nil {
+		if o.SelectColumns != nil {
+			return core.Options{}, errSelectConflict
+		}
+		selected = o.Scan.Select
+	}
 	copts := core.Options{
 		ChunkSize:          o.ChunkSize,
 		Schema:             o.Schema.internal(),
 		HasHeader:          o.HasHeader,
 		SkipRows:           o.SkipRows,
-		SelectColumns:      o.SelectColumns,
+		SelectColumns:      selected,
+		Where:              o.Scan.internalWhere(),
+		NoPushdown:         o.Scan.NoPushdown,
 		SkipRecords:        o.SkipRecords,
 		ExpectedColumns:    o.ExpectedColumns,
 		RejectInconsistent: o.RejectInconsistent,
@@ -329,5 +358,5 @@ func (o Options) internal(trailing core.TrailingMode) core.Options {
 	if o.Workers > 0 || o.VirtualWorkers > 0 {
 		copts.Device = device.New(device.Config{Workers: o.Workers, VirtualWorkers: o.VirtualWorkers})
 	}
-	return copts
+	return copts, nil
 }

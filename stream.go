@@ -88,6 +88,15 @@ type StreamStats struct {
 	// the run fails instead) — the streaming counterpart of
 	// Stats.InvalidInput.
 	InvalidInput bool
+	// RowsPruned is the total number of rows rejected by
+	// Options.Scan.Where across all partitions — the streaming
+	// counterpart of Stats.RowsPruned.
+	RowsPruned int64
+	// BytesSkipped is the total number of symbol bytes the partition
+	// scatters never moved (structural bytes plus everything projection
+	// or predicate pushdown made irrelevant) — the streaming counterpart
+	// of Stats.BytesSkipped.
+	BytesSkipped int64
 	// DeviceBytes is the peak device-memory footprint across all
 	// partitions. With InFlight=1 all partitions share one recycled
 	// arena (§4.4), so in steady state this is roughly the footprint of
