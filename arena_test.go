@@ -178,12 +178,12 @@ func TestStreamSteadyStateNoLargeAllocs(t *testing.T) {
 	arena := device.NewArena()
 	var afterFirst int64
 	first := true
-	parser := stream.ParserFunc(func(part []byte, final bool) (stream.PartitionResult, error) {
+	parser := stream.ParserFunc(func(part stream.Partition) (stream.PartitionResult, error) {
 		trailing := core.TrailingRemainder
-		if final {
+		if part.Final {
 			trailing = core.TrailingRecord
 		}
-		res, err := core.Parse(part, core.Options{Arena: arena, Trailing: trailing})
+		res, err := core.Parse(part.Input, core.Options{Arena: arena, Trailing: trailing})
 		if err != nil {
 			return stream.PartitionResult{}, err
 		}
@@ -191,7 +191,7 @@ func TestStreamSteadyStateNoLargeAllocs(t *testing.T) {
 			afterFirst = arena.ReservedBytes()
 			first = false
 		}
-		return stream.PartitionResult{Table: res.Table, CompleteBytes: len(part) - res.Remainder}, nil
+		return stream.PartitionResult{Table: res.Table, CompleteBytes: len(part.Input) - res.Remainder}, nil
 	})
 	res, err := stream.Run(stream.Config{PartitionSize: 1 << 20, Arena: arena}, parser, stream.BytesSource(input))
 	if err != nil {

@@ -8,7 +8,14 @@
 //	parparaw [-header] [-delim ,] [-comment '#'] [-mode tagged|inline|delimited]
 //	         [-stream] [-partition-size 32MB] [-inflight N] [-v]
 //	         [-select 0,3,5] [-where '1=JFK;4:int:0:100'] [-head 10]
-//	         [-validate] file.csv
+//	         [-validate] [-retry N] [-timeout 30s] file.csv
+//
+// The run is cancellable: SIGINT or SIGTERM (and -timeout expiry)
+// cancels the parse through its context — the streaming ring drains,
+// every goroutine joins, partial statistics are printed to standard
+// error, and the command exits nonzero. -retry N retries transient
+// input read failures up to N attempts per read position with capped
+// exponential backoff, resuming at the exact failed byte offset.
 //
 // -select projects the output down to the listed column indices, and
 // -where keeps only rows passing every listed predicate; both are pushed
@@ -32,14 +39,18 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	parparaw "repro"
@@ -60,6 +71,8 @@ func main() {
 	whereSpec := flag.String("where", "", "semicolon-separated row predicates (predicate pushdown); see package doc")
 	head := flag.Int("head", 0, "print the first N rows")
 	validate := flag.Bool("validate", false, "fail on format violations")
+	retry := flag.Int("retry", 0, "retry transient input read failures up to N attempts per position (0 disables)")
+	timeout := flag.Duration("timeout", 0, "cancel the run after this duration (0 disables)")
 	chunk := flag.Int("chunk", 0, "chunk size in bytes (default 31)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -78,7 +91,18 @@ func main() {
 		}
 	}
 
-	err := run(*header, *delim, *comment, *crlf, *mode, *streamFlag, *partition, *inFlight, *verbose, *selectSpec, *whereSpec, *head, *validate, *chunk, flag.Arg(0))
+	// SIGINT/SIGTERM cancel the run through its context: the streaming
+	// ring drains, goroutines join, and the partial stats still print. A
+	// second signal kills the process the default way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	err := run(ctx, *header, *delim, *comment, *crlf, *mode, *streamFlag, *partition, *inFlight, *verbose, *selectSpec, *whereSpec, *head, *validate, *retry, *chunk, flag.Arg(0))
 
 	if *cpuprofile != "" {
 		pprof.StopCPUProfile()
@@ -99,11 +123,14 @@ func main() {
 
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "parparaw:", err)
+		if errors.Is(err, parparaw.ErrCanceled) {
+			os.Exit(130) // interrupted, the shell convention
+		}
 		os.Exit(1)
 	}
 }
 
-func run(header bool, delim, comment string, crlf bool, modeName string, streaming bool, partition string, inFlight int, verbose bool, selectSpec, whereSpec string, head int, validate bool, chunk int, path string) error {
+func run(ctx context.Context, header bool, delim, comment string, crlf bool, modeName string, streaming bool, partition string, inFlight int, verbose bool, selectSpec, whereSpec string, head int, validate bool, retry, chunk int, path string) error {
 	var input io.Reader
 	if path == "" || path == "-" {
 		input = os.Stdin
@@ -171,8 +198,22 @@ func run(header bool, delim, comment string, crlf bool, modeName string, streami
 		if err != nil {
 			return err
 		}
-		res, err := parparaw.StreamReader(input, parparaw.StreamOptions{Options: opts, PartitionSize: partBytes})
+		res, err := parparaw.StreamReaderContext(ctx, input, parparaw.StreamOptions{
+			Options:       opts,
+			PartitionSize: partBytes,
+			Retry:         parparaw.RetryPolicy{MaxAttempts: retry},
+		})
 		if err != nil {
+			// A failed stream still reports the partial progress it
+			// drained from the ring — what an interrupted long ingest
+			// most wants to know.
+			if res != nil {
+				rows := res.NumRows()
+				s := res.Stats
+				fmt.Fprintf(os.Stderr,
+					"parparaw: interrupted after %v: %d rows in %d partitions emitted, %d input bytes consumed, %d reads retried\n",
+					s.Duration.Round(time.Millisecond), rows, len(res.Tables), s.InputBytes, s.Retries)
+			}
 			return err
 		}
 		table, err = res.Combined()
@@ -196,9 +237,16 @@ func run(header bool, delim, comment string, crlf bool, modeName string, streami
 				stats += fmt.Sprintf("\npushdown: %d rows pruned, %d symbol bytes never moved",
 					s.RowsPruned, s.BytesSkipped)
 			}
+			if s.Retries > 0 {
+				stats += fmt.Sprintf("\nretried %d input reads, recovering %d B", s.Retries, s.RetriedBytes)
+			}
 		}
 	} else {
-		res, err := parparaw.ParseReader(input, opts)
+		eng, err := parparaw.NewEngine(opts)
+		if err != nil {
+			return err
+		}
+		res, err := eng.ParseReaderContext(ctx, input)
 		if err != nil {
 			return err
 		}

@@ -2,9 +2,12 @@ package parparaw
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/columnar"
 	"repro/internal/core"
@@ -12,6 +15,7 @@ import (
 	"repro/internal/stream"
 	"repro/internal/transcode"
 	"repro/internal/utfx"
+	"repro/parparawerr"
 )
 
 // Engine is a reusable parsing service: one configuration compiled once
@@ -34,7 +38,20 @@ import (
 type Engine struct {
 	plan   *core.Plan
 	arenas sync.Pool // of *device.Arena
+	// boundaryMistrust counts streaming runs that failed on a boundary
+	// pre-scan / parse disagreement — a pipeline invariant violation
+	// that, within a run, cannot be recovered (the wrong carry is
+	// already committed downstream). Once it reaches
+	// boundaryMistrustLimit, the engine stops trusting the pre-scan:
+	// every later run's partitions take the serial carry path, trading
+	// the ring's overlap for correctness — the degradation a long-lived
+	// service wants instead of failing every run the same way.
+	boundaryMistrust atomic.Int32
 }
+
+// boundaryMistrustLimit is the number of boundary-disagreement failures
+// after which an engine permanently falls back to serial carry.
+const boundaryMistrustLimit = 2
 
 // NewEngine compiles opts into a reusable Engine. Configuration errors
 // (duplicate column selections, unsorted skip lists, …) are reported
@@ -68,9 +85,19 @@ func (e *Engine) release(a *device.Arena) {
 // identical to the package-level Parse with the engine's options; only
 // the per-call setup cost differs.
 func (e *Engine) Parse(input []byte) (*Result, error) {
+	return e.ParseContext(context.Background(), input)
+}
+
+// ParseContext is Parse with a cancellation context: the context is
+// checked between kernel stages, so a canceled parse stops early with a
+// typed error matching ErrCanceled (and context.Canceled /
+// context.DeadlineExceeded).
+func (e *Engine) ParseContext(ctx context.Context, input []byte) (*Result, error) {
 	arena := e.checkout()
 	defer e.release(arena)
-	res, err := e.plan.Execute(input, e.plan.BaseExec(arena))
+	exec := e.plan.BaseExec(arena)
+	exec.Ctx = ctx
+	res, err := e.plan.Execute(input, exec)
 	if err != nil {
 		return nil, err
 	}
@@ -83,15 +110,23 @@ func (e *Engine) Parse(input []byte) (*Result, error) {
 // buffering stays bounded (see the package-level ParseReader for the
 // contract).
 func (e *Engine) ParseReader(r io.Reader) (*Result, error) {
+	return e.ParseReaderContext(context.Background(), r)
+}
+
+// ParseReaderContext is ParseReader with a cancellation context,
+// honoured on both the buffered and the streamed route (see
+// StreamReaderContext for the streaming cancellation contract).
+func (e *Engine) ParseReaderContext(ctx context.Context, r io.Reader) (*Result, error) {
 	threshold := ReaderStreamThreshold
 	head, err := io.ReadAll(io.LimitReader(r, int64(threshold)+1))
 	if err != nil {
-		return nil, fmt.Errorf("parparaw: reading input: %w", err)
+		return nil, fmt.Errorf("parparaw: reading input: %w",
+			&parparawerr.InputError{Offset: int64(len(head)), Partition: parparawerr.NoPartition, Attempts: 1, Err: err})
 	}
 	if len(head) <= threshold {
-		return e.Parse(head)
+		return e.ParseContext(ctx, head)
 	}
-	sres, err := e.StreamReader(io.MultiReader(bytes.NewReader(head), r), StreamConfig{
+	sres, err := e.StreamReaderContext(ctx, io.MultiReader(bytes.NewReader(head), r), StreamConfig{
 		Bus: NewBus(instantBus),
 	})
 	if err != nil {
@@ -120,8 +155,23 @@ type StreamConfig struct {
 	// DeviceBudget, when positive, bounds the estimated device bytes of
 	// the partitions concurrently in flight: the ring stops admitting
 	// new partitions while the budget would be exceeded (one partition
-	// is always admitted, so the run progresses under any budget).
+	// is always admitted, so the run progresses under any budget —
+	// unless StrictBudget).
 	DeviceBudget int64
+	// StrictBudget fails the run with a typed error matching ErrBudget
+	// when a single partition's estimated footprint alone exceeds
+	// DeviceBudget, instead of admitting it anyway.
+	StrictBudget bool
+	// Retry is the transient-failure policy for the input reader; the
+	// zero value disables retrying (see RetryPolicy).
+	Retry RetryPolicy
+	// OnBadRecord, when non-nil, receives every rejected record's raw
+	// bytes and offset (see StreamOptions.OnBadRecord). Must be safe for
+	// concurrent calls when InFlight > 1.
+	OnBadRecord func(BadRecord)
+	// SkipBadPartitions quarantines failing partitions instead of
+	// failing the run (see StreamOptions.SkipBadPartitions).
+	SkipBadPartitions bool
 }
 
 // Stream parses an in-memory input through the end-to-end streaming
@@ -129,6 +179,12 @@ type StreamConfig struct {
 // pipeline consumes them chunk by chunk exactly as it would a file.
 func (e *Engine) Stream(input []byte, cfg StreamConfig) (*StreamResult, error) {
 	return e.StreamReader(bytes.NewReader(input), cfg)
+}
+
+// StreamContext is Stream with a cancellation context: see
+// StreamReaderContext for the cancellation contract.
+func (e *Engine) StreamContext(ctx context.Context, input []byte, cfg StreamConfig) (*StreamResult, error) {
+	return e.StreamReaderContext(ctx, bytes.NewReader(input), cfg)
 }
 
 // StreamReader parses everything r yields through the end-to-end
@@ -146,6 +202,22 @@ func (e *Engine) Stream(input []byte, cfg StreamConfig) (*StreamResult, error) {
 // is frozen for the whole run; the header record and skipped rows are
 // consumed from the first partition only.
 func (e *Engine) StreamReader(r io.Reader, cfg StreamConfig) (*StreamResult, error) {
+	return e.StreamReaderContext(context.Background(), r, cfg)
+}
+
+// StreamReaderContext is StreamReader with a cancellation context.
+// Cancellation is prompt: the ring stops admitting partitions, running
+// partition parses stop at their next kernel-stage boundary, every
+// goroutine is joined and every arena returned, and the call reports a
+// typed error matching ErrCanceled (context.Canceled and
+// context.DeadlineExceeded also match via errors.Is). On failure of any
+// kind the returned StreamResult, when non-nil, holds the tables
+// emitted and the statistics accumulated before the failure — partial
+// progress a caller can still report (the cmd/parparaw SIGINT path).
+// The one wait cancellation cannot interrupt is a read already blocked
+// inside the source's io.Reader: Go cannot cancel a Read in flight, so
+// a stalled reader delays (but never prevents) the shutdown.
+func (e *Engine) StreamReaderContext(ctx context.Context, r io.Reader, cfg StreamConfig) (*StreamResult, error) {
 	partSize := cfg.PartitionSize
 	if partSize <= 0 {
 		partSize = DefaultPartitionSize
@@ -164,7 +236,8 @@ func (e *Engine) StreamReader(r io.Reader, cfg StreamConfig) (*StreamResult, err
 		var head [3]byte
 		n, err := io.ReadFull(r, head[:])
 		if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
-			return nil, fmt.Errorf("parparaw: reading input: %w", err)
+			return nil, fmt.Errorf("parparaw: reading input: %w",
+				&parparawerr.InputError{Offset: int64(n), Partition: parparawerr.NoPartition, Attempts: 1, Err: err})
 		}
 		enc, skip := transcode.DetectEncoding(head[:n])
 		base.Encoding = enc
@@ -185,19 +258,31 @@ func (e *Engine) StreamReader(r io.Reader, cfg StreamConfig) (*StreamResult, err
 	}
 
 	rp := &ringParser{
-		plan:     e.plan,
-		base:     base,
-		first:    true,
-		trimming: base.HasHeader || base.SkipRows > 0,
-		schema:   base.Schema,
-		direct:   base.Encoding == utfx.ASCII || base.Encoding == utfx.UTF8,
+		plan:        e.plan,
+		base:        base,
+		first:       true,
+		trimming:    base.HasHeader || base.SkipRows > 0,
+		schema:      base.Schema,
+		direct:      base.Encoding == utfx.ASCII || base.Encoding == utfx.UTF8,
+		ctx:         ctx,
+		mistrust:    &e.boundaryMistrust,
+		onBadRecord: cfg.OnBadRecord,
 	}
 	scfg := stream.Config{
-		PartitionSize: partSize,
-		Bus:           bus.b,
-		InFlight:      inFlight,
-		Unordered:     cfg.Unordered,
-		DeviceBudget:  cfg.DeviceBudget,
+		PartitionSize:     partSize,
+		Bus:               bus.b,
+		Ctx:               ctx,
+		InFlight:          inFlight,
+		Unordered:         cfg.Unordered,
+		DeviceBudget:      cfg.DeviceBudget,
+		StrictBudget:      cfg.StrictBudget,
+		SkipBadPartitions: cfg.SkipBadPartitions,
+		Retry: stream.RetryPolicy{
+			MaxAttempts: cfg.Retry.MaxAttempts,
+			BaseDelay:   cfg.Retry.BaseDelay,
+			MaxDelay:    cfg.Retry.MaxDelay,
+			Retryable:   cfg.Retry.Retryable,
+		},
 	}
 	if inFlight > 1 {
 		// The ring draws one arena per in-flight partition from the
@@ -223,7 +308,26 @@ func (e *Engine) StreamReader(r io.Reader, cfg StreamConfig) (*StreamResult, err
 
 	res, err := stream.Run(scfg, rp, stream.NewSource(r))
 	if err != nil {
-		return nil, err
+		// A boundary pre-scan / parse disagreement is unrecoverable
+		// within the run (the wrong carry is already committed), but a
+		// long-lived engine learns from it: after boundaryMistrustLimit
+		// such failures, Boundary permanently declines and every later
+		// run takes the serial carry path.
+		var ie *parparawerr.InternalError
+		if errors.As(err, &ie) && ie.Stage == "boundary" {
+			e.boundaryMistrust.Add(1)
+		}
+		return streamResultFrom(rp, res), err
+	}
+	return streamResultFrom(rp, res), nil
+}
+
+// streamResultFrom converts the internal pipeline result (possibly the
+// partial result of a failed run) to the public shape. Returns nil for
+// a nil res.
+func streamResultFrom(rp *ringParser, res *stream.Result) *StreamResult {
+	if res == nil {
+		return nil
 	}
 	out := &StreamResult{Header: rp.header, Order: res.Order}
 	out.Tables = make([]*Table, len(res.Tables))
@@ -231,23 +335,27 @@ func (e *Engine) StreamReader(r io.Reader, cfg StreamConfig) (*StreamResult, err
 		out.Tables[i] = &Table{t: t}
 	}
 	out.Stats = StreamStats{
-		Duration:        res.Stats.Duration,
-		Partitions:      res.Stats.Partitions,
-		InputBytes:      res.Stats.InputBytes,
-		OutputBytes:     res.Stats.OutputBytes,
-		ParseBusy:       res.Stats.ParseBusy,
-		MaxCarryOver:    res.Stats.MaxCarryOver,
-		DeviceBytes:     res.Stats.DeviceBytes,
-		InvalidInput:    res.Stats.InvalidInput,
-		RowsPruned:      res.Stats.RowsPruned,
-		BytesSkipped:    res.Stats.BytesSkipped,
-		InFlight:        res.Stats.InFlight,
-		SerialFallbacks: res.Stats.SerialFallbacks,
-		ReadBusy:        res.Stats.ReadBusy,
-		BoundaryBusy:    res.Stats.BoundaryBusy,
-		EmitBusy:        res.Stats.EmitBusy,
+		Duration:              res.Stats.Duration,
+		Partitions:            res.Stats.Partitions,
+		InputBytes:            res.Stats.InputBytes,
+		OutputBytes:           res.Stats.OutputBytes,
+		ParseBusy:             res.Stats.ParseBusy,
+		MaxCarryOver:          res.Stats.MaxCarryOver,
+		DeviceBytes:           res.Stats.DeviceBytes,
+		InvalidInput:          res.Stats.InvalidInput,
+		RowsPruned:            res.Stats.RowsPruned,
+		BytesSkipped:          res.Stats.BytesSkipped,
+		InFlight:              res.Stats.InFlight,
+		SerialFallbacks:       res.Stats.SerialFallbacks,
+		ReadBusy:              res.Stats.ReadBusy,
+		BoundaryBusy:          res.Stats.BoundaryBusy,
+		EmitBusy:              res.Stats.EmitBusy,
+		Retries:               res.Stats.Retries,
+		RetriedBytes:          res.Stats.RetriedBytes,
+		QuarantinedPartitions: res.Stats.QuarantinedPartitions,
+		QuarantinedRecords:    res.Stats.QuarantinedRecords,
 	}
-	return out, nil
+	return out
 }
 
 // enginePool adapts the engine's recycled-arena pool to the ring
@@ -273,6 +381,15 @@ type ringParser struct {
 	// serial is the serial pipeline's single recycled arena (nil under
 	// the ring).
 	serial *device.Arena
+	// ctx cancels partition parses between kernel stages.
+	ctx context.Context
+	// mistrust points at the engine's boundary-disagreement counter:
+	// at boundaryMistrustLimit the pre-scan is permanently distrusted
+	// and Boundary declines, forcing the serial carry path.
+	mistrust *atomic.Int32
+	// onBadRecord diverts rejected records (converted to the public
+	// BadRecord shape) to the caller's callback.
+	onBadRecord func(BadRecord)
 	// direct reports that partitions parse their raw bytes directly —
 	// no UTF-16 transcode — so the DFA boundary pre-scan is exact.
 	direct   bool
@@ -287,14 +404,14 @@ type ringParser struct {
 }
 
 // ParsePartition is the serial pipeline's entry point.
-func (p *ringParser) ParsePartition(part []byte, final bool) (stream.PartitionResult, error) {
-	return p.parse(p.serial, part, final)
+func (p *ringParser) ParsePartition(part stream.Partition) (stream.PartitionResult, error) {
+	return p.parse(p.serial, part)
 }
 
 // ParseInFlight parses one partition on its own arena, concurrently
 // with other partitions.
-func (p *ringParser) ParseInFlight(arena *device.Arena, part []byte, final bool) (stream.PartitionResult, error) {
-	return p.parse(arena, part, final)
+func (p *ringParser) ParseInFlight(arena *device.Arena, part stream.Partition) (stream.PartitionResult, error) {
+	return p.parse(arena, part)
 }
 
 // Boundary pre-scans part's record boundary: a single sequential DFA
@@ -303,21 +420,25 @@ func (p *ringParser) ParseInFlight(arena *device.Arena, part []byte, final bool)
 // waiting for that parse. It declines (serial fallback) while the
 // first partition's header/skip trimming is unsettled — row pruning
 // splits raw lines without DFA context, so a whole-partition walk
-// could disagree — and for UTF-16 input, whose remainder is defined on
+// could disagree — for UTF-16 input, whose remainder is defined on
 // the transcoded bytes and mapped back (Plan.Execute), not on a raw
-// walk.
+// walk — and permanently once the engine's boundary-disagreement
+// counter has hit its limit (the learned serial-carry degradation).
 func (p *ringParser) Boundary(part []byte) (int, bool) {
 	if p.first || !p.direct {
+		return 0, false
+	}
+	if p.mistrust != nil && p.mistrust.Load() >= boundaryMistrustLimit {
 		return 0, false
 	}
 	return p.plan.ScanRemainder(part), true
 }
 
-func (p *ringParser) parse(arena *device.Arena, part []byte, final bool) (stream.PartitionResult, error) {
+func (p *ringParser) parse(arena *device.Arena, part stream.Partition) (stream.PartitionResult, error) {
 	exec := p.base
 	exec.Arena = arena
 	exec.Trailing = core.TrailingRemainder
-	if final {
+	if part.Final {
 		exec.Trailing = core.TrailingRecord
 	}
 	exec.Schema = p.schema
@@ -327,7 +448,16 @@ func (p *ringParser) parse(arena *device.Arena, part []byte, final bool) (stream
 		exec.SkipRows = p.base.SkipRows
 	}
 	exec.ConvertWorkers = p.convertWorkers
-	res, err := p.plan.Execute(part, exec)
+	exec.Ctx = p.ctx
+	exec.Partition = part.Index
+	exec.BaseOffset = part.Base
+	if p.onBadRecord != nil {
+		cb := p.onBadRecord
+		exec.OnBadRecord = func(r core.BadRecord) {
+			cb(BadRecord{Partition: r.Partition, Row: r.Row, Offset: r.Offset, Raw: r.Raw})
+		}
+	}
+	res, err := p.plan.Execute(part.Input, exec)
 	if err != nil {
 		return stream.PartitionResult{}, err
 	}
@@ -336,7 +466,7 @@ func (p *ringParser) parse(arena *device.Arena, part []byte, final bool) (stream
 		// records — Where just rejected them all. The header was consumed
 		// and inference saw the pre-filter rows, so the first partition is
 		// settled exactly as if the rows had survived.
-		if !final && res.Table.NumRows() == 0 && res.Stats.RowsPruned == 0 {
+		if !part.Final && res.Table.NumRows() == 0 && res.Stats.RowsPruned == 0 {
 			if p.trimming {
 				// The partition is too small to hold the skipped
 				// rows, the header, and one complete record — a
@@ -359,7 +489,7 @@ func (p *ringParser) parse(arena *device.Arena, part []byte, final bool) (stream
 			// actually produces rows. The empty placeholder table's
 			// shape is unsettled, so it is not emitted.
 			return stream.PartitionResult{
-				CompleteBytes: len(part) - res.Remainder,
+				CompleteBytes: len(part.Input) - res.Remainder,
 				Invalid:       res.Stats.InvalidInput,
 				BytesSkipped:  res.Stats.BytesSkipped,
 			}, nil
@@ -373,10 +503,11 @@ func (p *ringParser) parse(arena *device.Arena, part []byte, final bool) (stream
 	}
 	return stream.PartitionResult{
 		Table:         res.Table,
-		CompleteBytes: len(part) - res.Remainder,
+		CompleteBytes: len(part.Input) - res.Remainder,
 		Invalid:       res.Stats.InvalidInput,
 		RowsPruned:    res.Stats.RowsPruned,
 		BytesSkipped:  res.Stats.BytesSkipped,
+		BadRecords:    res.Stats.BadRecords,
 	}, nil
 }
 

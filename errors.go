@@ -1,0 +1,42 @@
+package parparaw
+
+import "repro/parparawerr"
+
+// The error taxonomy: every failure a parse or streaming run can return
+// matches exactly one of these sentinels under errors.Is, and carries a
+// typed value (parparawerr.InputError, MalformedError, BudgetError,
+// CanceledError, InternalError) extractable with errors.As for the
+// failure's context — byte offset, partition index, attempt count,
+// recovered panic value. The sentinels alias package parparawerr, where
+// the typed errors live; match either spelling.
+//
+//	res, err := engine.StreamReaderContext(ctx, r, cfg)
+//	switch {
+//	case errors.Is(err, parparaw.ErrInput):
+//		var ie *parparawerr.InputError
+//		errors.As(err, &ie) // ie.Offset is the exact resume point
+//	case errors.Is(err, parparaw.ErrCanceled):
+//		// res still holds the partitions emitted before the cancel
+//	}
+//
+// CanceledError additionally unwraps to the context error, so
+// errors.Is(err, context.Canceled) and context.DeadlineExceeded also
+// match.
+var (
+	// ErrInput: the io.Reader feeding the parse failed, after any
+	// configured retries.
+	ErrInput = parparawerr.ErrInput
+	// ErrMalformed: the input violated the format (DFA validation
+	// failure under Options.Validate).
+	ErrMalformed = parparawerr.ErrMalformed
+	// ErrBudget: a partition was denied admission under
+	// StreamConfig.StrictBudget.
+	ErrBudget = parparawerr.ErrBudget
+	// ErrCanceled: the run's context was canceled or its deadline
+	// passed.
+	ErrCanceled = parparawerr.ErrCanceled
+	// ErrInternal: a contained panic in a pipeline worker or a violated
+	// pipeline invariant; the run failed cleanly (goroutines joined,
+	// arenas recycled).
+	ErrInternal = parparawerr.ErrInternal
+)

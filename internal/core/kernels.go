@@ -10,6 +10,7 @@ package core
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -19,10 +20,12 @@ import (
 	"repro/internal/css"
 	"repro/internal/device"
 	"repro/internal/dfa"
+	"repro/internal/faultinject"
 	"repro/internal/offsets"
 	"repro/internal/radix"
 	"repro/internal/scan"
 	"repro/internal/statevec"
+	"repro/parparawerr"
 )
 
 // kernelStage is one step of the explicit pipeline. The name labels the
@@ -59,6 +62,16 @@ func KernelStageNames() []string {
 
 func (p *pipeline) run() (*columnar.Table, error) {
 	for _, st := range kernelPipeline {
+		// Cancellation is observed between kernel stages: a canceled
+		// context stops a partition mid-parse at the next stage boundary
+		// (a launched kernel always runs to completion, like a CUDA
+		// kernel after cudaLaunchKernel), surfacing a typed
+		// parparawerr.ErrCanceled with the partition intact for cleanup.
+		if p.ctx != nil {
+			if err := p.ctx.Err(); err != nil {
+				return nil, parparawerr.Canceled(p.partition, err)
+			}
+		}
 		p.Arena.SetPhase(st.name)
 		if err := st.run(p); err != nil {
 			return nil, err
@@ -112,7 +125,11 @@ func (p *pipeline) scanStates() error {
 		(!m.Accepting(p.endState) && p.Trailing == TrailingRecord)
 	if invalid {
 		if p.Validate {
-			return fmt.Errorf("core: invalid input: DFA ends in state %q", m.StateName(p.endState))
+			return &parparawerr.MalformedError{
+				Partition: p.partition,
+				State:     m.StateName(p.endState),
+				Detail:    fmt.Sprintf("core: invalid input: DFA ends in state %q", m.StateName(p.endState)),
+			}
 		}
 		p.stats.InvalidInput = true
 	}
@@ -261,7 +278,7 @@ func (p *pipeline) convertColumns() error {
 	}
 	if workers <= 1 {
 		for out, orig := range p.selected {
-			col, err := p.convertColumn(out, orig, p.Arena, outFields, p.rejected)
+			col, err := p.safeConvertColumn(out, orig, p.Arena, outFields, p.rejected)
 			if err != nil {
 				return err
 			}
@@ -327,6 +344,29 @@ func (p *pipeline) convertColumn(out, orig int, arena *device.Arena, outFields [
 	return convert.Materialize(d, "convert", cssCol, ix, field, pol, rejected)
 }
 
+// safeConvertColumn is convertColumn with panic containment: a panic in
+// the column's index construction, inference, or materialisation —
+// including one injected by the chaos suite's convert hook, which fires
+// here on both the sequential and the pooled path — is recovered into a
+// typed parparawerr.InternalError instead of killing the worker
+// goroutine (which would deadlock the pool's WaitGroup join) or the
+// process. The worker's arena shard still drains normally: the recover
+// happens below the shard's defer on the call stack.
+func (p *pipeline) safeConvertColumn(out, orig int, arena *device.Arena, outFields []columnar.Field, rejected []bool) (col *columnar.Column, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &parparawerr.InternalError{
+				Partition: p.partition,
+				Stage:     "convert",
+				Value:     r,
+				Stack:     debug.Stack(),
+			}
+		}
+	}()
+	faultinject.ConvertColumn(out)
+	return p.convertColumn(out, orig, arena, outFields, rejected)
+}
+
 // convertColumnsParallel runs the per-column convert work on a pool of
 // workers claiming columns from a shared counter. Determinism does not
 // depend on the claim order: every column writes only its own slots of
@@ -364,7 +404,7 @@ func (p *pipeline) convertColumnsParallel(workers int, outFields []columnar.Fiel
 				if int64(out) > minFailed.Load() {
 					continue
 				}
-				col, err := p.convertColumn(out, p.selected[out], shard, outFields, shadow)
+				col, err := p.safeConvertColumn(out, p.selected[out], shard, outFields, shadow)
 				if err != nil {
 					errs[out] = err
 					for {

@@ -259,6 +259,9 @@ type Stats struct {
 	// never moved — the projection/predicate pushdown's saving in device
 	// traffic.
 	BytesSkipped int64
+	// BadRecords is the number of rejected records reported to
+	// Exec.OnBadRecord (0 when no callback was installed).
+	BadRecords int64
 	// Phases holds the per-phase device time of this run (Figure 9's
 	// breakdown): parse, scan, tag, partition, convert.
 	Phases map[string]time.Duration

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -50,6 +51,14 @@ type pipeline struct {
 	input       []byte
 	headerNames []string
 	stats       Stats
+
+	// Per-execution failure-model parameters (Exec): cancellation
+	// context, partition identity for typed errors, and the bad-record
+	// divert channel with its offset base.
+	ctx         context.Context
+	partition   int
+	baseOffset  int64
+	onBadRecord func(BadRecord)
 
 	chunks     int
 	vectors    []statevec.Vector // parseVectors → scanStates

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -113,6 +114,28 @@ type Exec struct {
 	// budget across its in-flight partitions here, so InFlight ×
 	// per-partition workers never oversubscribes the host.
 	ConvertWorkers int
+	// Ctx, when non-nil, cancels the execution: it is checked between
+	// kernel stages (a launched kernel runs to completion, like a CUDA
+	// kernel), so a canceled run stops mid-partition at the next stage
+	// boundary with a typed parparawerr.ErrCanceled.
+	Ctx context.Context
+	// Partition is the streaming partition index this execution parses;
+	// it stamps every typed error and bad-record report. Zero for
+	// single-shot parses.
+	Partition int
+	// BaseOffset is the stream byte offset of input[0], so bad-record
+	// reports carry absolute input offsets. For transcoded (UTF-16)
+	// inputs, reported offsets and raw bytes refer to positions in the
+	// UTF-8 transcription of this partition, not raw UTF-16 bytes.
+	BaseOffset int64
+	// OnBadRecord, when non-nil, receives every record the run flagged
+	// rejected (inconsistent column count under RejectInconsistent,
+	// unconvertible field under RejectMalformed) with its raw bytes and
+	// offset — the graceful-degradation divert channel. The records also
+	// remain flagged in the output table's rejected vector. The callback
+	// runs on the executing goroutine after the kernel stages complete;
+	// the Raw slice is only valid for the duration of the call.
+	OnBadRecord func(BadRecord)
 }
 
 // BaseExec returns the plan's own per-run parameters with the given
@@ -166,10 +189,12 @@ func (p *Plan) Execute(input []byte, exec Exec) (*Result, error) {
 
 	var header []string
 	body := input
+	bomSkip := 0
 	if o.DetectEncoding {
 		enc, skip := transcode.DetectEncoding(body)
 		o.Encoding = enc
 		body = body[skip:]
+		bomSkip = skip
 	}
 	rawLen := len(body) // raw (pre-transcode, post-BOM) length for remainder mapping
 	o.Arena.SetPhase("transcode")
@@ -192,7 +217,24 @@ func (p *Plan) Execute(input []byte, exec Exec) (*Result, error) {
 		}
 	}
 
-	pl := &pipeline{Options: o, input: body, headerNames: header}
+	// frontTrim is the offset of body[0] relative to input[0]: the BOM,
+	// skipped rows, and the header record are consumed from the front.
+	// For transcoded input, body indexes the UTF-8 transcription, so the
+	// trim is measured within it (bad-record offsets are then documented
+	// as positions in the transcription).
+	frontTrim := int64(len(input) - len(body))
+	if transcoded {
+		frontTrim = int64(bomSkip + (len(tbody) - len(body)))
+	}
+	pl := &pipeline{
+		Options:     o,
+		input:       body,
+		headerNames: header,
+		ctx:         exec.Ctx,
+		partition:   exec.Partition,
+		baseOffset:  exec.BaseOffset + frontTrim,
+		onBadRecord: exec.OnBadRecord,
+	}
 	table, err := pl.run()
 	if err != nil {
 		return nil, err
@@ -219,6 +261,10 @@ func (p *Plan) Execute(input []byte, exec Exec) (*Result, error) {
 	}
 
 	stats := pl.stats
+	// Bad-record reporting walks the record bitmap, which lives on the
+	// arena: it must run before the caller resets the arena for the next
+	// partition, hence here rather than lazily.
+	stats.BadRecords = pl.reportBadRecords()
 	stats.Duration = time.Since(start)
 	stats.Phases = phaseDelta(before, o.Device.Timers().Snapshot())
 	stats.DeviceBytes = o.Arena.PeakBytes()

@@ -24,7 +24,9 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -274,8 +276,29 @@ func measurementOverhead() time.Duration {
 	return measureOverhead.d
 }
 
+// KernelPanic carries a panic raised inside a device worker goroutine
+// back to the launching goroutine: without it, a panicking kernel would
+// kill the whole process from a goroutine no caller can recover on.
+// Launch/LaunchBlocks re-panic with a *KernelPanic after all workers
+// have joined, so the caller's recover sees the original panic value
+// and the worker's stack, and no worker goroutine is leaked. When
+// several blocks panic concurrently, the first capture wins.
+type KernelPanic struct {
+	// Value is the kernel's original panic value.
+	Value any
+	// Stack is the panicking worker goroutine's stack.
+	Stack []byte
+}
+
+func (k *KernelPanic) String() string {
+	return fmt.Sprintf("device: kernel panic: %v", k.Value)
+}
+
 // runBlocks executes kernel for every block in [0, blocks), distributing
-// blocks dynamically across the device's real workers.
+// blocks dynamically across the device's real workers. A kernel panic on
+// a worker is captured and re-raised on the calling goroutine as a
+// *KernelPanic once every worker has exited (on the single-worker path
+// the panic already unwinds the caller directly).
 func (d *Device) runBlocks(blocks, threads int, kernel BlockKernel) {
 	blockSize := d.cfg.BlockSize
 	workers := d.cfg.Workers
@@ -305,11 +328,26 @@ func (d *Device) runBlocks(blocks, threads int, kernel BlockKernel) {
 		return start, next
 	}
 	const run = 4
+	var panicked atomic.Pointer[KernelPanic]
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					kp, ok := r.(*KernelPanic)
+					if !ok {
+						kp = &KernelPanic{Value: r, Stack: debug.Stack()}
+					}
+					panicked.CompareAndSwap(nil, kp)
+				}
+			}()
 			for {
+				if panicked.Load() != nil {
+					// A sibling worker already failed the launch; the
+					// results will be discarded, so stop claiming blocks.
+					return
+				}
 				start, end := claim(run)
 				if start >= int64(blocks) {
 					return
@@ -326,6 +364,9 @@ func (d *Device) runBlocks(blocks, threads int, kernel BlockKernel) {
 		}()
 	}
 	wg.Wait()
+	if kp := panicked.Load(); kp != nil {
+		panic(kp)
+	}
 }
 
 // Reduce runs a parallel reduction of n per-thread values produced by f

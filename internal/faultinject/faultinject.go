@@ -1,0 +1,193 @@
+// Package faultinject is the deterministic fault-injection harness
+// behind the chaos parity suite (fault_test.go): a seedable FlakyReader
+// that fails, short-reads, and stalls on a reproducible schedule, plus
+// process-wide injection hooks the pipeline consults at its containment
+// points (ring partition parses, convert-pool columns, device-budget
+// admission). Hooks cost one atomic load when disarmed, so shipping them
+// compiled-in is free; they are armed only by tests.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// TransientError marks an injected error that a retry policy should
+// classify as retryable.
+type TransientError struct{ Seq int64 }
+
+func (e *TransientError) Error() string {
+	return fmt.Sprintf("faultinject: transient error #%d", e.Seq)
+}
+
+// PermanentError marks an injected error no retry can clear.
+type PermanentError struct{ Seq int64 }
+
+func (e *PermanentError) Error() string {
+	return fmt.Sprintf("faultinject: permanent error #%d", e.Seq)
+}
+
+// IsTransient reports whether err is (or wraps) an injected transient
+// error — the retryable-error classifier the chaos suite hands to
+// RetryPolicy.
+func IsTransient(err error) bool {
+	var t *TransientError
+	return errors.As(err, &t)
+}
+
+// FlakyReader wraps an io.Reader with a deterministic fault schedule.
+// All decisions derive from a seeded xorshift generator and the
+// configured rates, so a given (seed, config) pair replays the exact
+// same fault sequence — the property that lets the chaos suite assert
+// byte-identical output against the fault-free run.
+type FlakyReader struct {
+	// R is the underlying reader.
+	R io.Reader
+	// Seed seeds the deterministic generator (0 is replaced by 1).
+	Seed uint64
+	// TransientEvery injects a TransientError before roughly one in n
+	// reads (deterministically chosen; 0 disables). The failed read
+	// consumes no input: a retried call resumes exactly where the
+	// previous one left off.
+	TransientEvery int
+	// PermanentAt, when positive, makes the reader fail permanently
+	// once n bytes have been delivered; every later call returns the
+	// same PermanentError.
+	PermanentAt int64
+	// ShortReads truncates roughly half of all reads to a small random
+	// prefix of the requested length, exercising partial-read
+	// accounting.
+	ShortReads bool
+	// Stall, when positive, sleeps this long before roughly one in
+	// eight reads, exercising cancellation while a read is pending.
+	Stall time.Duration
+
+	rng       uint64
+	started   bool
+	delivered int64
+	calls     int64
+	transient int64
+	permanent error
+}
+
+func (f *FlakyReader) next() uint64 {
+	if !f.started {
+		f.rng = f.Seed
+		if f.rng == 0 {
+			f.rng = 1
+		}
+		f.started = true
+	}
+	// xorshift64: deterministic, seedable, and good enough to scatter
+	// fault points across the schedule.
+	f.rng ^= f.rng << 13
+	f.rng ^= f.rng >> 7
+	f.rng ^= f.rng << 17
+	return f.rng
+}
+
+// Delivered returns the number of bytes handed to callers so far.
+func (f *FlakyReader) Delivered() int64 { return f.delivered }
+
+// Transients returns the number of transient errors injected so far.
+func (f *FlakyReader) Transients() int64 { return f.transient }
+
+func (f *FlakyReader) Read(p []byte) (int, error) {
+	if f.permanent != nil {
+		return 0, f.permanent
+	}
+	f.calls++
+	if f.Stall > 0 && f.next()%8 == 0 {
+		time.Sleep(f.Stall)
+	}
+	if f.TransientEvery > 0 && f.next()%uint64(f.TransientEvery) == 0 {
+		f.transient++
+		return 0, &TransientError{Seq: f.transient}
+	}
+	if len(p) == 0 {
+		return f.R.Read(p)
+	}
+	limit := len(p)
+	if f.PermanentAt > 0 && f.delivered+int64(limit) > f.PermanentAt {
+		limit = int(f.PermanentAt - f.delivered)
+		if limit <= 0 {
+			f.permanent = &PermanentError{Seq: f.calls}
+			return 0, f.permanent
+		}
+	}
+	if f.ShortReads && limit > 1 && f.next()%2 == 0 {
+		limit = 1 + int(f.next()%uint64(limit))
+	}
+	n, err := f.R.Read(p[:limit])
+	f.delivered += int64(n)
+	return n, err
+}
+
+// Injection hooks. Each is a process-wide slot the pipeline calls at a
+// containment point; tests arm one with Set*, run the faulty scenario,
+// and must disarm it (Set*(nil)) before the next. A hook that panics
+// exercises exactly the containment path its call site guards.
+
+var (
+	ringParse     atomic.Pointer[func(partition int)]
+	convertColumn atomic.Pointer[func(column int)]
+	budgetCharge  atomic.Pointer[func(partition int, estimate int64) int64]
+)
+
+// SetRingParse arms (or with nil disarms) the hook called at the start
+// of every partition parse in the streaming pipeline.
+func SetRingParse(f func(partition int)) {
+	if f == nil {
+		ringParse.Store(nil)
+		return
+	}
+	ringParse.Store(&f)
+}
+
+// RingParse fires the ring-parse hook if armed.
+func RingParse(partition int) {
+	if f := ringParse.Load(); f != nil {
+		(*f)(partition)
+	}
+}
+
+// SetConvertColumn arms (or with nil disarms) the hook called at the
+// start of every per-column convert.
+func SetConvertColumn(f func(column int)) {
+	if f == nil {
+		convertColumn.Store(nil)
+		return
+	}
+	convertColumn.Store(&f)
+}
+
+// ConvertColumn fires the convert-column hook if armed.
+func ConvertColumn(column int) {
+	if f := convertColumn.Load(); f != nil {
+		(*f)(column)
+	}
+}
+
+// SetBudgetCharge arms (or with nil disarms) the arena-pressure hook:
+// it may inflate the device-budget estimate of a partition awaiting
+// admission, driving the budget-exhaustion paths without gigabyte
+// inputs.
+func SetBudgetCharge(f func(partition int, estimate int64) int64) {
+	if f == nil {
+		budgetCharge.Store(nil)
+		return
+	}
+	budgetCharge.Store(&f)
+}
+
+// BudgetCharge filters a partition's device-budget estimate through the
+// arena-pressure hook if armed.
+func BudgetCharge(partition int, estimate int64) int64 {
+	if f := budgetCharge.Load(); f != nil {
+		return (*f)(partition, estimate)
+	}
+	return estimate
+}

@@ -1,0 +1,105 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// readAllFlaky drains a FlakyReader, retrying transient errors forever,
+// and records the full (n, err) trace.
+func readAllFlaky(t *testing.T, f *FlakyReader, chunk int) ([]byte, []string, error) {
+	t.Helper()
+	var out []byte
+	var trace []string
+	buf := make([]byte, chunk)
+	for {
+		n, err := f.Read(buf)
+		out = append(out, buf[:n]...)
+		switch {
+		case err == nil:
+		case err == io.EOF:
+			return out, trace, nil
+		case IsTransient(err):
+			trace = append(trace, err.Error())
+		default:
+			return out, trace, err
+		}
+	}
+}
+
+// TestFlakyReaderDeterministic: the same (seed, config) must replay the
+// exact same fault schedule — the property the chaos parity suite
+// rests on.
+func TestFlakyReaderDeterministic(t *testing.T) {
+	input := bytes.Repeat([]byte("0123456789"), 1000)
+	mk := func() *FlakyReader {
+		return &FlakyReader{R: bytes.NewReader(input), Seed: 42, TransientEvery: 3, ShortReads: true}
+	}
+	out1, trace1, err1 := readAllFlaky(t, mk(), 256)
+	out2, trace2, err2 := readAllFlaky(t, mk(), 256)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("errs: %v, %v", err1, err2)
+	}
+	if !bytes.Equal(out1, input) || !bytes.Equal(out2, input) {
+		t.Fatal("delivered bytes differ from input")
+	}
+	if len(trace1) == 0 {
+		t.Fatal("no transient errors injected despite TransientEvery=3")
+	}
+	if len(trace1) != len(trace2) {
+		t.Fatalf("fault schedules differ: %d vs %d transients", len(trace1), len(trace2))
+	}
+	for i := range trace1 {
+		if trace1[i] != trace2[i] {
+			t.Fatalf("fault %d differs: %q vs %q", i, trace1[i], trace2[i])
+		}
+	}
+}
+
+// TestFlakyReaderPermanentAt: the reader delivers exactly PermanentAt
+// bytes, then fails the same way forever.
+func TestFlakyReaderPermanentAt(t *testing.T) {
+	input := bytes.Repeat([]byte("x"), 1000)
+	f := &FlakyReader{R: bytes.NewReader(input), Seed: 1, PermanentAt: 600}
+	out, _, err := readAllFlaky(t, f, 128)
+	var pe *PermanentError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want PermanentError", err)
+	}
+	if len(out) != 600 || f.Delivered() != 600 {
+		t.Fatalf("delivered %d (reader says %d), want exactly 600", len(out), f.Delivered())
+	}
+	if _, err2 := f.Read(make([]byte, 8)); err2 != err {
+		t.Fatalf("permanent error not latched: %v then %v", err, err2)
+	}
+}
+
+// TestHookDisarm is the regression test for the typed-nil trap: passing
+// nil to a Set* hook must fully disarm it, not store a pointer to a nil
+// func that the next dispatch calls.
+func TestHookDisarm(t *testing.T) {
+	fired := 0
+	SetRingParse(func(int) { fired++ })
+	RingParse(0)
+	SetRingParse(nil)
+	RingParse(1) // must be a no-op, not a nil-func call
+	if fired != 1 {
+		t.Fatalf("hook fired %d times, want 1", fired)
+	}
+	SetConvertColumn(func(int) { fired++ })
+	SetConvertColumn(nil)
+	ConvertColumn(0)
+	SetBudgetCharge(func(_ int, est int64) int64 { return est + 1 })
+	if got := BudgetCharge(0, 10); got != 11 {
+		t.Fatalf("armed BudgetCharge = %d, want 11", got)
+	}
+	SetBudgetCharge(nil)
+	if got := BudgetCharge(0, 10); got != 10 {
+		t.Fatalf("disarmed BudgetCharge = %d, want passthrough 10", got)
+	}
+	if fired != 1 {
+		t.Fatalf("disarmed hooks fired; count = %d", fired)
+	}
+}

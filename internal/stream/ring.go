@@ -21,6 +21,15 @@
 // InFlight partitions hold an arena at once (arenas recycle through a
 // free list as partitions retire), and an optional DeviceBudget gates
 // admission on the estimated in-flight device bytes.
+//
+// Failure containment (PR 8): worker panics are recovered into typed
+// parparawerr.InternalError values (safeParse), a canceled context
+// unblocks both the scheduler's slot wait and the budget's admission
+// wait, and every exit path still drains the results channel — so
+// arenas and slots are recycled and no goroutine leaks, whatever the
+// failure. Partitions whose record boundary was pre-scanned can be
+// quarantined under Config.SkipBadPartitions without disturbing their
+// neighbours: the carry chain was finalised before the worker ran.
 
 package stream
 
@@ -31,7 +40,9 @@ import (
 
 	"repro/internal/columnar"
 	"repro/internal/device"
+	"repro/internal/faultinject"
 	"repro/internal/pcie"
+	"repro/parparawerr"
 )
 
 // parsedPart is one partition's outcome on its way to the emit stage.
@@ -42,32 +53,60 @@ type parsedPart struct {
 	est   int64 // device-budget charge taken at dispatch
 	dur   time.Duration
 	err   error
+	// boundaryKnown marks partitions whose carry boundary was finalised
+	// by the pre-scan before the parse ran: their failure cannot corrupt
+	// the carry chain, so they are candidates for quarantine.
+	boundaryKnown bool
+	// skipped marks a partition already quarantined by the scheduler
+	// (inline serial-carry path); the emit stage only counts it.
+	skipped bool
 }
 
 // deviceBudget gates partition admission on estimated in-flight device
 // bytes. The estimate for a new partition is the larger of its input
 // size and the biggest per-partition arena footprint observed so far;
 // a partition is always admitted when nothing is in flight, so the run
-// progresses even under a budget smaller than one partition.
+// progresses even under a budget smaller than one partition — unless
+// the budget is strict, in which case an over-budget partition is
+// denied with a typed parparawerr.BudgetError instead.
 type deviceBudget struct {
-	limit int64
-	mu    sync.Mutex
-	cond  *sync.Cond
-	used  int64
-	peak  int64
+	limit  int64
+	strict bool
+	mu     sync.Mutex
+	cond   *sync.Cond
+	used   int64
+	peak   int64
+	// cancelErr, once set, permanently fails every waiting and future
+	// charge — the run is shutting down and blocked admissions must not
+	// outlive it.
+	cancelErr error
 }
 
-func newDeviceBudget(limit int64) *deviceBudget {
-	b := &deviceBudget{limit: limit}
+func newDeviceBudget(limit int64, strict bool) *deviceBudget {
+	b := &deviceBudget{limit: limit, strict: strict}
 	b.cond = sync.NewCond(&b.mu)
 	return b
 }
 
+// cancel fails all waiting and future charges with err (first cancel
+// wins). Safe to call from any goroutine.
+func (b *deviceBudget) cancel(err error) {
+	b.mu.Lock()
+	if b.cancelErr == nil {
+		b.cancelErr = err
+	}
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
 // charge blocks until the partition fits under the budget and returns
-// the amount charged (0 when no budget is configured).
-func (b *deviceBudget) charge(inputLen int) int64 {
+// the amount charged (0 when no budget is configured). It fails with
+// the cancellation error when the run is shutting down, and — under a
+// strict budget — with a typed BudgetError when the partition could
+// never fit.
+func (b *deviceBudget) charge(partition, inputLen int) (int64, error) {
 	if b.limit <= 0 {
-		return 0
+		return 0, nil
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -75,11 +114,20 @@ func (b *deviceBudget) charge(inputLen int) int64 {
 	if b.peak > est {
 		est = b.peak
 	}
-	for b.used > 0 && b.used+est > b.limit {
+	// Arena-pressure injection: the chaos suite inflates estimates here
+	// to drive the budget-exhaustion paths without gigabyte inputs.
+	est = faultinject.BudgetCharge(partition, est)
+	if b.strict && est > b.limit {
+		return 0, &parparawerr.BudgetError{Partition: partition, Estimate: est, Budget: b.limit}
+	}
+	for b.cancelErr == nil && b.used > 0 && b.used+est > b.limit {
 		b.cond.Wait()
 	}
+	if b.cancelErr != nil {
+		return 0, b.cancelErr
+	}
 	b.used += est
-	return est
+	return est, nil
 }
 
 // refund returns a retired partition's charge and folds its actual
@@ -108,6 +156,7 @@ func runRing(cfg Config, parser RingParser, src *Source) (*Result, error) {
 	if bus == nil {
 		bus = pcie.Default()
 	}
+	ctx := cfg.ctx()
 	start := time.Now()
 
 	inFlight := cfg.InFlight
@@ -123,7 +172,24 @@ func runRing(cfg Config, parser RingParser, src *Source) (*Result, error) {
 	quit := make(chan struct{})
 	var quitOnce sync.Once
 	stop := func() { quitOnce.Do(func() { close(quit) }) }
-	budget := newDeviceBudget(cfg.DeviceBudget)
+	budget := newDeviceBudget(cfg.DeviceBudget, cfg.StrictBudget)
+
+	// Cancellation watcher: a canceled context must unblock the
+	// scheduler wherever it waits — the slot select (quit) and the
+	// budget's admission wait (budget.cancel). The watcher itself is
+	// joined before runRing returns.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				budget.cancel(parparawerr.Canceled(parparawerr.NoPartition, ctx.Err()))
+				stop()
+			case <-watchDone:
+			}
+		}()
+	}
 
 	stats := Stats{InFlight: inFlight}
 	var tables []*columnar.Table
@@ -134,13 +200,18 @@ func runRing(cfg Config, parser RingParser, src *Source) (*Result, error) {
 	// Emit stage: retires partitions as they arrive — recycling their
 	// arena and slot immediately, since tables live on the host heap —
 	// and releases tables in input order (or arrival order when
-	// Unordered, recording the permutation).
+	// Unordered, recording the permutation). Quarantine decisions for
+	// dispatched partitions are made here, where the typed error is
+	// first seen.
 	go func() {
 		var firstErr error
 		errIdx := -1
 		pending := make(map[int]parsedPart)
 		next := 0
 		emit := func(p parsedPart) {
+			if p.skipped {
+				return
+			}
 			outBytes := p.res.OutputBytes
 			if outBytes <= 0 && p.res.Table != nil {
 				outBytes = p.res.Table.DataBytes()
@@ -166,17 +237,34 @@ func runRing(cfg Config, parser RingParser, src *Source) (*Result, error) {
 			}
 			stats.ParseBusy += p.dur
 			if p.err != nil {
-				if firstErr == nil || p.idx < errIdx {
-					firstErr, errIdx = p.err, p.idx
+				if cfg.SkipBadPartitions && p.boundaryKnown && quarantinable(p.err) {
+					// The carry chain was finalised before this parse
+					// ran, so dropping the partition affects no
+					// neighbour; the skipped branch below counts it.
+					p.err = nil
+					p.res = PartitionResult{}
+					p.skipped = true
+				} else {
+					if firstErr == nil || p.idx < errIdx {
+						firstErr, errIdx = p.err, p.idx
+					}
+					stop()
+					continue
 				}
-				stop()
-				continue
+			}
+			if p.skipped {
+				// Covers both quarantine paths: dispatched failures
+				// converted above, and inline serial-carry failures the
+				// scheduler already converted. Counting here keeps the
+				// counter single-writer.
+				stats.QuarantinedPartitions++
 			}
 			if p.res.Invalid {
 				stats.InvalidInput = true
 			}
 			stats.RowsPruned += p.res.RowsPruned
 			stats.BytesSkipped += p.res.BytesSkipped
+			stats.QuarantinedRecords += p.res.BadRecords
 			if firstErr != nil {
 				continue
 			}
@@ -211,11 +299,21 @@ func runRing(cfg Config, parser RingParser, src *Source) (*Result, error) {
 		}()
 		var carry []byte
 		var fill []byte
+		var nextBase int64 // stream offset of the next partition's first byte
 		for i := 0; ; i++ {
-			select {
-			case <-quit:
+			canceled := func() bool {
+				select {
+				case <-quit:
+				default:
+					return false
+				}
+				if err := ctx.Err(); err != nil {
+					results <- parsedPart{idx: i, err: fmt.Errorf("stream: %w", parparawerr.Canceled(i, err))}
+				}
+				return true
+			}
+			if canceled() {
 				return
-			default:
 			}
 			// The carry-over displaces fresh input so carry + fresh fills
 			// one fixed PartitionSize buffer (NextFresh's contract).
@@ -231,7 +329,7 @@ func runRing(cfg Config, parser RingParser, src *Source) (*Result, error) {
 			}
 			stats.ReadBusy += time.Since(rb)
 			if err != nil {
-				results <- parsedPart{idx: i, err: fmt.Errorf("stream: reading input: %w", err)}
+				results <- parsedPart{idx: i, err: tagInputError(err, i)}
 				return
 			}
 			stats.InputBytes += int64(len(data))
@@ -240,6 +338,7 @@ func runRing(cfg Config, parser RingParser, src *Source) (*Result, error) {
 			select {
 			case <-slots:
 			case <-quit:
+				canceled() // report the cancellation, if that is why we stopped
 				return
 			}
 			var arena *device.Arena
@@ -256,6 +355,7 @@ func runRing(cfg Config, parser RingParser, src *Source) (*Result, error) {
 			buf = append(buf, carry...)
 			buf = append(buf, data...)
 			stats.Partitions++
+			base := nextBase
 
 			dispatched := false
 			if !final {
@@ -270,26 +370,36 @@ func runRing(cfg Config, parser RingParser, src *Source) (*Result, error) {
 					if len(carry) > stats.MaxCarryOver {
 						stats.MaxCarryOver = len(carry)
 					}
-					est := budget.charge(len(buf))
 					wantComplete := len(buf) - rem
+					nextBase = base + int64(wantComplete)
+					est, err := budget.charge(i, len(buf))
+					if err != nil {
+						results <- parsedPart{idx: i, arena: arena,
+							err: fmt.Errorf("stream: partition %d: %w", i, err)}
+						return
+					}
 					wg.Add(1)
-					go func(idx int, arena *device.Arena, buf []byte, est, wantComplete int64) {
+					go func(idx int, arena *device.Arena, part Partition, est, wantComplete int64) {
 						defer wg.Done()
 						ps := time.Now()
-						res, err := parser.ParseInFlight(arena, buf, false)
+						res, err := safeParse(func() (PartitionResult, error) {
+							return parser.ParseInFlight(arena, part)
+						}, idx)
 						dur := time.Since(ps)
 						if err == nil && int64(res.CompleteBytes) != wantComplete {
 							// The pre-scan and the parse must agree by
 							// construction; a mismatch means corrupt
 							// output, so fail loudly instead.
-							err = fmt.Errorf("boundary pre-scan found %d complete bytes, parse found %d",
-								wantComplete, res.CompleteBytes)
+							err = fmt.Errorf("boundary pre-scan found %d complete bytes, parse found %d: %w",
+								wantComplete, res.CompleteBytes,
+								&parparawerr.InternalError{Partition: idx, Stage: "boundary"})
 						}
 						if err != nil {
 							err = fmt.Errorf("stream: partition %d: %w", idx, err)
 						}
-						results <- parsedPart{idx: idx, res: res, arena: arena, est: est, dur: dur, err: err}
-					}(i, arena, buf, est, int64(wantComplete))
+						results <- parsedPart{idx: idx, res: res, arena: arena, est: est, dur: dur,
+							err: err, boundaryKnown: true}
+					}(i, arena, Partition{Index: i, Base: base, Input: buf}, est, int64(wantComplete))
 					dispatched = true
 				} else {
 					stats.SerialFallbacks++
@@ -300,32 +410,59 @@ func runRing(cfg Config, parser RingParser, src *Source) (*Result, error) {
 				// this is the final partition, which the ring still parses
 				// here when it could not be dispatched). Identical to the
 				// serial pipeline's stage 2.
-				est := budget.charge(len(buf))
+				est, err := budget.charge(i, len(buf))
+				if err != nil {
+					results <- parsedPart{idx: i, arena: arena,
+						err: fmt.Errorf("stream: partition %d: %w", i, err)}
+					return
+				}
 				if final {
 					wg.Add(1)
-					go func(idx int, arena *device.Arena, buf []byte, est int64) {
+					go func(idx int, arena *device.Arena, part Partition, est int64) {
 						defer wg.Done()
 						ps := time.Now()
-						res, err := parser.ParseInFlight(arena, buf, true)
+						res, err := safeParse(func() (PartitionResult, error) {
+							return parser.ParseInFlight(arena, part)
+						}, idx)
 						dur := time.Since(ps)
 						if err != nil {
 							err = fmt.Errorf("stream: partition %d: %w", idx, err)
 						}
-						results <- parsedPart{idx: idx, res: res, arena: arena, est: est, dur: dur, err: err}
-					}(i, arena, buf, est)
+						// The final partition has no successor: its carry
+						// boundary is vacuously known, so it remains a
+						// quarantine candidate.
+						results <- parsedPart{idx: idx, res: res, arena: arena, est: est, dur: dur,
+							err: err, boundaryKnown: true}
+					}(i, arena, Partition{Index: i, Base: base, Input: buf, Final: true}, est)
 					return
 				}
 				ps := time.Now()
-				res, err := parser.ParseInFlight(arena, buf, false)
+				part := Partition{Index: i, Base: base, Input: buf}
+				res, err := safeParse(func() (PartitionResult, error) {
+					return parser.ParseInFlight(arena, part)
+				}, i)
 				dur := time.Since(ps)
 				if err == nil && (res.CompleteBytes < 0 || res.CompleteBytes > len(buf)) {
-					err = fmt.Errorf("complete bytes %d outside [0,%d]", res.CompleteBytes, len(buf))
+					err = fmt.Errorf("complete bytes %d outside [0,%d]: %w", res.CompleteBytes, len(buf),
+						&parparawerr.InternalError{Partition: i, Stage: "ring"})
 				}
 				if err != nil {
+					if cfg.SkipBadPartitions && quarantinable(err) {
+						// Quarantine on the serial carry path: the
+						// partition's boundary was never determined, so
+						// the pending carry is dropped with it and the
+						// next partition starts fresh. The emit stage
+						// counts the skip.
+						nextBase = base + int64(len(buf))
+						carry = carry[:0]
+						results <- parsedPart{idx: i, arena: arena, est: est, dur: dur, skipped: true}
+						continue
+					}
 					results <- parsedPart{idx: i, res: res, arena: arena, est: est, dur: dur,
 						err: fmt.Errorf("stream: partition %d: %w", i, err)}
 					return
 				}
+				nextBase = base + int64(res.CompleteBytes)
 				carry = append(carry[:0], buf[res.CompleteBytes:]...)
 				if len(carry) > stats.MaxCarryOver {
 					stats.MaxCarryOver = len(carry)
@@ -343,9 +480,11 @@ func runRing(cfg Config, parser RingParser, src *Source) (*Result, error) {
 		stats.DeviceBytes += a.PeakBytes()
 		cfg.Arenas.Put(a)
 	}
-	if err != nil {
-		return nil, err
-	}
 	stats.Duration = time.Since(start)
-	return &Result{Tables: tables, Order: order, Stats: stats}, nil
+	stats.Retries, stats.RetriedBytes = src.RetryStats()
+	res := &Result{Tables: tables, Order: order, Stats: stats}
+	if err != nil {
+		return res, err
+	}
+	return res, nil
 }

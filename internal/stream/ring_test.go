@@ -75,14 +75,14 @@ func (p *ringLineParser) parse(input []byte, final bool) (PartitionResult, error
 	return PartitionResult{Table: tbl, CompleteBytes: complete}, nil
 }
 
-func (p *ringLineParser) ParsePartition(input []byte, final bool) (PartitionResult, error) {
-	return p.parse(input, final)
+func (p *ringLineParser) ParsePartition(part Partition) (PartitionResult, error) {
+	return p.parse(part.Input, part.Final)
 }
 
-func (p *ringLineParser) ParseInFlight(arena *device.Arena, input []byte, final bool) (PartitionResult, error) {
+func (p *ringLineParser) ParseInFlight(arena *device.Arena, part Partition) (PartitionResult, error) {
 	// Touch the arena so the footprint stats have something to sum.
-	_ = device.Alloc[byte](arena, len(input))
-	return p.parse(input, final)
+	_ = device.Alloc[byte](arena, len(part.Input))
+	return p.parse(part.Input, part.Final)
 }
 
 func (p *ringLineParser) Boundary(input []byte) (int, bool) {
@@ -318,12 +318,12 @@ func TestRingBoundaryParseDisagreement(t *testing.T) {
 
 type lyingBoundaryParser struct{ inner *ringLineParser }
 
-func (p *lyingBoundaryParser) ParsePartition(input []byte, final bool) (PartitionResult, error) {
-	return p.inner.ParsePartition(input, final)
+func (p *lyingBoundaryParser) ParsePartition(part Partition) (PartitionResult, error) {
+	return p.inner.ParsePartition(part)
 }
 
-func (p *lyingBoundaryParser) ParseInFlight(arena *device.Arena, input []byte, final bool) (PartitionResult, error) {
-	return p.inner.ParseInFlight(arena, input, final)
+func (p *lyingBoundaryParser) ParseInFlight(arena *device.Arena, part Partition) (PartitionResult, error) {
+	return p.inner.ParseInFlight(arena, part)
 }
 
 func (p *lyingBoundaryParser) Boundary(input []byte) (int, bool) {

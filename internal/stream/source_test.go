@@ -1,0 +1,245 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/parparawerr"
+)
+
+// scriptedReader replays a fixed schedule of read results. Each step
+// delivers up to n bytes of the backing input and/or an error; the
+// reader's own cursor guarantees no byte is ever delivered twice, so a
+// test that reassembles the full input has proven the Source's
+// byte accounting exact.
+type scriptedReader struct {
+	input []byte
+	off   int
+	steps []readStep
+	step  int
+}
+
+type readStep struct {
+	n   int   // bytes to deliver (capped by len(p) and remaining input)
+	err error // error to return alongside (or instead of) the bytes
+}
+
+func (r *scriptedReader) Read(p []byte) (int, error) {
+	var st readStep
+	if r.step < len(r.steps) {
+		st = r.steps[r.step]
+		r.step++
+	} else {
+		st = readStep{n: len(p)} // default: full reads to EOF
+	}
+	n := st.n
+	if n > len(p) {
+		n = len(p)
+	}
+	if n > len(r.input)-r.off {
+		n = len(r.input) - r.off
+	}
+	copy(p, r.input[r.off:r.off+n])
+	r.off += n
+	if st.err != nil {
+		return n, st.err
+	}
+	if n == 0 && r.off == len(r.input) {
+		return 0, io.EOF
+	}
+	return n, nil
+}
+
+func drainSource(t *testing.T, s *Source, chunk int) ([]byte, error) {
+	t.Helper()
+	var out []byte
+	var buf []byte
+	for {
+		data, last, err := s.Fill(buf, chunk)
+		out = append(out, data...)
+		if err != nil {
+			return out, err
+		}
+		if last {
+			return out, nil
+		}
+		buf = data[:0]
+	}
+}
+
+// TestSourcePartialReadErrorAccounting is the regression test for the
+// Fill partial-read error path: a Read that returns bytes *and* an
+// error must have those bytes consumed exactly once, with the retried
+// read resuming at the next offset — no loss, no duplication.
+func TestSourcePartialReadErrorAccounting(t *testing.T) {
+	input := []byte("0123456789abcdefghijklmnopqrstuvwxyz")
+	transient := errors.New("transient glitch")
+	r := &scriptedReader{input: input, steps: []readStep{
+		{n: 4},                 // normal partial read
+		{n: 3, err: transient}, // data + error: bytes kept, error deferred
+		{err: transient},       // bare error: retried in place
+		{n: 5},
+		{n: 0, err: transient}, // mid-chunk error with no data
+		{n: 11},
+	}}
+	s := NewSource(r)
+	s.SetRetry(RetryPolicy{MaxAttempts: 5, Sleep: func(time.Duration) {}})
+	got, err := drainSource(t, s, 8)
+	if err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if !bytes.Equal(got, input) {
+		t.Fatalf("reassembled %q, want %q (loss or duplication)", got, input)
+	}
+	if s.Consumed() != int64(len(input)) {
+		t.Errorf("Consumed = %d, want %d", s.Consumed(), len(input))
+	}
+	retries, _ := s.RetryStats()
+	if retries < 2 {
+		t.Errorf("retries = %d, want >= 2 (both deferred and bare errors retried)", retries)
+	}
+}
+
+// TestSourceRetryExhaustion: when retries run out, the failure is a
+// typed InputError carrying the exact consumed-byte offset and the
+// attempt count, and the source latches it.
+func TestSourceRetryExhaustion(t *testing.T) {
+	boom := errors.New("disk on fire")
+	r := &scriptedReader{input: []byte("0123456789"), steps: []readStep{
+		{n: 6},
+		{err: boom}, {err: boom}, {err: boom}, {err: boom},
+	}}
+	s := NewSource(r)
+	s.SetRetry(RetryPolicy{MaxAttempts: 3, Sleep: func(time.Duration) {}})
+	got, err := drainSource(t, s, 8)
+	if !errors.Is(err, parparawerr.ErrInput) || !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want typed input error wrapping boom", err)
+	}
+	var ie *parparawerr.InputError
+	if !errors.As(err, &ie) {
+		t.Fatal("no *parparawerr.InputError in chain")
+	}
+	if ie.Offset != 6 {
+		t.Errorf("Offset = %d, want 6 (bytes consumed before the failure)", ie.Offset)
+	}
+	if ie.Attempts != 3 {
+		t.Errorf("Attempts = %d, want 3", ie.Attempts)
+	}
+	if len(got) != 6 {
+		t.Errorf("delivered %d bytes before failing, want 6", len(got))
+	}
+	// The failure is latched: the source does not heal mid-stream.
+	if _, _, err2 := s.Fill(nil, 8); !errors.Is(err2, parparawerr.ErrInput) {
+		t.Errorf("second Fill after permanent failure: err = %v, want latched input error", err2)
+	}
+}
+
+// TestSourceNonRetryableFailsFast: the classifier rejecting an error
+// must fail on the first attempt, even with retries budgeted.
+func TestSourceNonRetryableFailsFast(t *testing.T) {
+	fatal := errors.New("permission denied")
+	r := &scriptedReader{input: []byte("abc"), steps: []readStep{{n: 2}, {err: fatal}}}
+	s := NewSource(r)
+	s.SetRetry(RetryPolicy{
+		MaxAttempts: 10,
+		Retryable:   func(err error) bool { return false },
+		Sleep:       func(time.Duration) {},
+	})
+	_, err := drainSource(t, s, 8)
+	var ie *parparawerr.InputError
+	if !errors.As(err, &ie) {
+		t.Fatalf("err = %v, want typed input error", err)
+	}
+	if ie.Attempts != 1 {
+		t.Errorf("Attempts = %d, want 1 (classifier rejected the retry)", ie.Attempts)
+	}
+	retries, _ := s.RetryStats()
+	if retries != 0 {
+		t.Errorf("retries = %d, want 0", retries)
+	}
+}
+
+// TestSourceNoRetryPolicy: with no policy installed the first error is
+// final — old behavior preserved, but now typed.
+func TestSourceNoRetryPolicy(t *testing.T) {
+	boom := errors.New("boom")
+	r := &scriptedReader{input: []byte("abcdef"), steps: []readStep{{n: 3}, {err: boom}}}
+	got, err := drainSource(t, NewSource(r), 4)
+	if !errors.Is(err, parparawerr.ErrInput) || !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want typed input error wrapping boom", err)
+	}
+	if len(got) != 3 {
+		t.Errorf("delivered %d bytes, want the 3 read before the error", len(got))
+	}
+}
+
+// TestSourceBackoffSchedule pins the capped exponential backoff as
+// observed through the Sleep hook.
+func TestSourceBackoffSchedule(t *testing.T) {
+	r := &scriptedReader{input: []byte("z"), steps: []readStep{
+		{err: errors.New("e1")}, {err: errors.New("e2")}, {err: errors.New("e3")},
+		{err: errors.New("e4")}, {n: 1},
+	}}
+	var slept []time.Duration
+	s := NewSource(r)
+	s.SetRetry(RetryPolicy{
+		MaxAttempts: 8,
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    35 * time.Millisecond,
+		Sleep:       func(d time.Duration) { slept = append(slept, d) },
+	})
+	if got, err := drainSource(t, s, 4); err != nil || string(got) != "z" {
+		t.Fatalf("drain = %q, %v", got, err)
+	}
+	want := []time.Duration{10, 20, 35, 35} // 10, 20, 40→cap, cap (ms)
+	for i := range want {
+		want[i] *= time.Millisecond
+	}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Errorf("backoff %d = %v, want %v", i, slept[i], want[i])
+		}
+	}
+}
+
+// TestSourceFlakyReaderFullRecovery: a FlakyReader with only transient
+// faults plus short reads must, under retries, deliver the input
+// byte-for-byte.
+func TestSourceFlakyReaderFullRecovery(t *testing.T) {
+	input := bytes.Repeat([]byte("the quick brown fox\n"), 500)
+	for seed := uint64(1); seed <= 5; seed++ {
+		fr := &faultinject.FlakyReader{
+			R:              bytes.NewReader(input),
+			Seed:           seed,
+			TransientEvery: 3,
+			ShortReads:     true,
+		}
+		s := NewSource(fr)
+		s.SetRetry(RetryPolicy{
+			MaxAttempts: 1000,
+			Retryable:   faultinject.IsTransient,
+			Sleep:       func(time.Duration) {},
+		})
+		got, err := drainSource(t, s, 512)
+		if err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+		if !bytes.Equal(got, input) {
+			t.Fatalf("seed=%d: output differs from input (len %d vs %d)", seed, len(got), len(input))
+		}
+		retries, retriedBytes := s.RetryStats()
+		if retries == 0 {
+			t.Errorf("seed=%d: no retries recorded despite TransientEvery=3", seed)
+		}
+		if retriedBytes == 0 {
+			t.Errorf("seed=%d: no retried bytes recorded", seed)
+		}
+	}
+}

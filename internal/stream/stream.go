@@ -13,16 +13,32 @@
 // The carry-over handles records straddling partition boundaries: the
 // parse of partition i reports how many of its bytes belong to complete
 // records; the incomplete tail is prepended to partition i+1's input.
+//
+// Failure model (PR 8): every failure class surfaces as a typed
+// parparawerr error — reader failures (after the Source's RetryPolicy is
+// exhausted) as ErrInput with the exact byte offset, validation failures
+// as ErrMalformed, context cancellation as ErrCanceled, contained worker
+// panics and pipeline invariant violations as ErrInternal, and strict
+// budget denials as ErrBudget. Every exit path joins the pipeline's
+// goroutines and returns every arena; on failure Run additionally
+// returns the partial Result emitted before the failure, so callers can
+// report progress (the cmd/parparaw SIGINT path). Parse-side failures
+// can optionally be quarantined (Config.SkipBadPartitions) instead of
+// failing the run.
 package stream
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"time"
 
 	"repro/internal/columnar"
 	"repro/internal/device"
+	"repro/internal/faultinject"
 	"repro/internal/pcie"
+	"repro/parparawerr"
 )
 
 // NextFresh returns the number of fresh input bytes the next partition
@@ -42,6 +58,23 @@ func NextFresh(partitionSize, carryLen, remaining int) int {
 		fresh = remaining
 	}
 	return fresh
+}
+
+// Partition is one partition's parse input: the assembled bytes (carry
+// tail + fresh input), its input-order index, the byte offset of its
+// first byte in the stream, and whether it is the final partition —
+// whose trailing bytes must be consumed as the final record.
+type Partition struct {
+	// Index is the partition's input-order index.
+	Index int
+	// Base is the byte offset of Input[0] in the stream (after any
+	// byte-order mark the caller stripped).
+	Base int64
+	// Input is the partition's bytes: carry-over followed by fresh
+	// input. It is only valid for the duration of the parse call.
+	Input []byte
+	// Final marks the last partition (CompleteBytes is then ignored).
+	Final bool
 }
 
 // PartitionResult is what parsing one partition yields.
@@ -67,21 +100,23 @@ type PartitionResult struct {
 	// never moved (unselected columns, pruned rows); the pipeline sums it
 	// into Stats.BytesSkipped.
 	BytesSkipped int64
+	// BadRecords is the number of malformed records the parse diverted
+	// to the caller's quarantine callback; the pipeline sums it into
+	// Stats.QuarantinedRecords.
+	BadRecords int64
 }
 
-// Parser parses one partition on the device. final is true for the last
-// partition, whose trailing bytes must be consumed as the final record
-// (CompleteBytes is then ignored).
+// Parser parses one partition on the device.
 type Parser interface {
-	ParsePartition(input []byte, final bool) (PartitionResult, error)
+	ParsePartition(part Partition) (PartitionResult, error)
 }
 
 // ParserFunc adapts a function to the Parser interface.
-type ParserFunc func(input []byte, final bool) (PartitionResult, error)
+type ParserFunc func(part Partition) (PartitionResult, error)
 
 // ParsePartition calls f.
-func (f ParserFunc) ParsePartition(input []byte, final bool) (PartitionResult, error) {
-	return f(input, final)
+func (f ParserFunc) ParsePartition(part Partition) (PartitionResult, error) {
+	return f(part)
 }
 
 // Config describes the streaming pipeline.
@@ -91,6 +126,16 @@ type Config struct {
 	PartitionSize int
 	// Bus is the simulated interconnect; nil uses pcie.Default().
 	Bus *pcie.Bus
+	// Ctx cancels the run: the pipeline stops admitting partitions,
+	// joins its goroutines, returns every arena, and reports a typed
+	// parparawerr.ErrCanceled (alongside the partial Result). Nil means
+	// context.Background(). A read already blocked inside the source's
+	// io.Reader finishes (or fails) before the cancellation is observed
+	// — Go cannot interrupt a Read in flight.
+	Ctx context.Context
+	// Retry is the source's transient-failure policy (see RetryPolicy).
+	// The zero value disables retrying.
+	Retry RetryPolicy
 	// Arena, when non-nil, is the device memory shared by every
 	// partition: the pipeline resets it before assembling each
 	// partition's input, so partition i+1 re-parses inside partition i's
@@ -111,12 +156,34 @@ type Config struct {
 	// DeviceBudget, when positive, bounds the estimated device bytes of
 	// the partitions concurrently in flight: the ring stops admitting
 	// new partitions while the budget is exceeded (at least one stays
-	// admitted so the run always progresses).
+	// admitted so the run always progresses — unless StrictBudget).
 	DeviceBudget int64
+	// StrictBudget fails the run with a typed parparawerr.ErrBudget
+	// when a single partition's estimated footprint alone exceeds
+	// DeviceBudget, instead of admitting it anyway. Only meaningful for
+	// the ring scheduler with a positive DeviceBudget.
+	StrictBudget bool
+	// SkipBadPartitions quarantines parse-side failures (contained
+	// panics, validation errors) instead of failing the run: the
+	// partition's output is dropped, Stats.QuarantinedPartitions
+	// counts it, and the stream continues. When the failed partition's
+	// record boundary was pre-scanned (the ring's dispatched path) the
+	// carry chain is intact and no neighbouring record is affected;
+	// when it was not (serial carry path), the pending carry is dropped
+	// with the partition, so a record straddling into it may also lose
+	// its head. Reader failures and cancellation are never quarantined.
+	SkipBadPartitions bool
 	// Arenas supplies the ring scheduler's per-in-flight-partition
 	// arenas. Every arena acquired during the run is returned before Run
 	// returns.
 	Arenas ArenaPool
+}
+
+func (c Config) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
 }
 
 // ArenaPool supplies device arenas to the ring scheduler, one per
@@ -143,7 +210,7 @@ type RingParser interface {
 	// needs transcoding before record boundaries exist).
 	Boundary(input []byte) (remainder int, ok bool)
 	// ParseInFlight parses one partition on the given arena.
-	ParseInFlight(arena *device.Arena, input []byte, final bool) (PartitionResult, error)
+	ParseInFlight(arena *device.Arena, part Partition) (PartitionResult, error)
 }
 
 // Stats summarises one streaming run.
@@ -181,6 +248,17 @@ type Stats struct {
 	// BytesSkipped is the total number of symbol bytes the partition
 	// scatters never moved (PartitionResult.BytesSkipped summed).
 	BytesSkipped int64
+	// Retries is the number of source read attempts that failed and
+	// were retried under the run's RetryPolicy; RetriedBytes is the
+	// bytes recovered by reads that succeeded after at least one retry.
+	Retries      int64
+	RetriedBytes int64
+	// QuarantinedPartitions counts partitions whose parse failed and
+	// was quarantined under Config.SkipBadPartitions instead of failing
+	// the run; QuarantinedRecords counts individual malformed records
+	// diverted to the caller's bad-record callback.
+	QuarantinedPartitions int
+	QuarantinedRecords    int64
 	// ReadBusy is the time the scheduler spent pulling input from the
 	// source and charging host-to-device transfers; BoundaryBusy is the
 	// time spent in record-boundary pre-scans; EmitBusy is the time the
@@ -203,6 +281,54 @@ type Result struct {
 	Stats Stats
 }
 
+// quarantinable reports whether a partition-parse failure may be
+// contained to that partition under Config.SkipBadPartitions: contained
+// panics and validation failures qualify; reader failures, budget
+// denials, and cancellation describe the run, not one partition, and
+// boundary disagreements poison the carry chain of every later
+// partition — none of those can be skipped.
+func quarantinable(err error) bool {
+	var ie *parparawerr.InternalError
+	if errors.As(err, &ie) && ie.Stage == "boundary" {
+		return false
+	}
+	return errors.Is(err, parparawerr.ErrInternal) || errors.Is(err, parparawerr.ErrMalformed)
+}
+
+// safeParse runs one partition parse with panic containment: a panic in
+// the parser (including device-kernel panics re-raised on the calling
+// goroutine) is recovered into a typed parparawerr.InternalError
+// carrying the partition index and the stack, so the pipeline fails (or
+// quarantines) cleanly instead of killing the process. The
+// fault-injection ring hook fires here, on every parse path.
+func safeParse(parse func() (PartitionResult, error), idx int) (res PartitionResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			stage, val := "ring", r
+			var stack []byte
+			if kp, ok := r.(*device.KernelPanic); ok {
+				stage, val, stack = "kernel", kp.Value, kp.Stack
+			} else {
+				stack = debug.Stack()
+			}
+			err = &parparawerr.InternalError{Partition: idx, Stage: stage, Value: val, Stack: stack}
+			res = PartitionResult{}
+		}
+	}()
+	faultinject.RingParse(idx)
+	return parse()
+}
+
+// tagInputError stamps the failing partition's index into a typed
+// source failure and wraps it with the stream prefix.
+func tagInputError(err error, idx int) error {
+	var ie *parparawerr.InputError
+	if errors.As(err, &ie) && ie.Partition == parparawerr.NoPartition {
+		ie.Partition = idx
+	}
+	return fmt.Errorf("stream: reading input: %w", err)
+}
+
 // chunk is one fixed-size host buffer's worth of raw input on its way
 // from the Source to a partition parse.
 type chunk struct {
@@ -213,7 +339,9 @@ type chunk struct {
 }
 
 // Run streams the source through the pipeline. It returns the
-// per-partition tables in input order.
+// per-partition tables in input order. On failure the returned Result,
+// when non-nil, holds the tables emitted and the statistics accumulated
+// before the failure — partial progress a caller can still report.
 //
 // Stage 1 pulls PartitionSize-byte chunks from the source into two
 // recycled host buffers (the Figure 7 raw-input double buffer) and
@@ -232,6 +360,7 @@ func Run(cfg Config, parser Parser, src *Source) (*Result, error) {
 	if cfg.PartitionSize <= 0 {
 		return nil, errors.New("stream: partition size must be positive")
 	}
+	src.SetRetry(cfg.Retry)
 	if cfg.InFlight > 1 && cfg.Arenas != nil {
 		if rp, ok := parser.(RingParser); ok {
 			return runRing(cfg, rp, src)
@@ -241,6 +370,7 @@ func Run(cfg Config, parser Parser, src *Source) (*Result, error) {
 	if bus == nil {
 		bus = pcie.Default()
 	}
+	ctx := cfg.ctx()
 
 	start := time.Now()
 
@@ -310,13 +440,18 @@ func Run(cfg Config, parser Parser, src *Source) (*Result, error) {
 			close(toReturn)
 		}
 		var carry []byte
-		var cur chunk // current chunk being consumed
-		curOff := 0   // bytes of cur already consumed
+		var base int64 // stream offset of the current carry/partition start
+		var cur chunk  // current chunk being consumed
+		curOff := 0    // bytes of cur already consumed
 		haveChunk := false
 		exhausted := false // the source's last chunk has been fully consumed
 		var spent []int    // buffers drained by this partition, recycled after its parse
 		var segs [][]byte  // fresh chunk segments of the partition being assembled
 		for i := 0; ; i++ {
+			if err := ctx.Err(); err != nil {
+				fail(i, fmt.Errorf("stream: %w", parparawerr.Canceled(i, err)))
+				return
+			}
 			// The carry-over displaces fresh input so carry + fresh fills
 			// one fixed PartitionSize buffer; a carry of a full partition
 			// or more (one record larger than a partition) still makes
@@ -342,7 +477,7 @@ func Run(cfg Config, parser Parser, src *Source) (*Result, error) {
 						return
 					}
 					if c.err != nil {
-						fail(i, fmt.Errorf("stream: reading input: %w", c.err))
+						fail(i, tagInputError(c.err, i))
 						return
 					}
 					stats.InputBytes += int64(len(c.data))
@@ -382,10 +517,33 @@ func Run(cfg Config, parser Parser, src *Source) (*Result, error) {
 
 			<-dataTokens
 			parseStart := time.Now()
-			res, err := parser.ParsePartition(buf, final)
+			part := Partition{Index: i, Base: base, Input: buf, Final: final}
+			res, err := safeParse(func() (PartitionResult, error) {
+				return parser.ParsePartition(part)
+			}, i)
 			stats.ParseBusy += time.Since(parseStart)
 			stats.Partitions++
+			if err == nil && !final && (res.CompleteBytes < 0 || res.CompleteBytes > len(buf)) {
+				err = fmt.Errorf("complete bytes %d outside [0,%d]: %w", res.CompleteBytes, len(buf),
+					&parparawerr.InternalError{Partition: i, Stage: "ring"})
+			}
 			if err != nil {
+				if cfg.SkipBadPartitions && quarantinable(err) {
+					// Quarantine: drop the partition (and the pending
+					// carry — its boundary is unknown) and continue.
+					stats.QuarantinedPartitions++
+					base += int64(len(buf))
+					carry = carry[:0]
+					for _, b := range spent {
+						inputTokens <- b
+					}
+					spent = spent[:0]
+					dataTokens <- struct{}{}
+					if final {
+						break
+					}
+					continue
+				}
 				fail(i, fmt.Errorf("stream: partition %d: %w", i, err))
 				return
 			}
@@ -394,11 +552,11 @@ func Run(cfg Config, parser Parser, src *Source) (*Result, error) {
 			}
 			stats.RowsPruned += res.RowsPruned
 			stats.BytesSkipped += res.BytesSkipped
-			if !final {
-				if res.CompleteBytes < 0 || res.CompleteBytes > len(buf) {
-					fail(i, fmt.Errorf("stream: partition %d: complete bytes %d outside [0,%d]", i, res.CompleteBytes, len(buf)))
-					return
-				}
+			stats.QuarantinedRecords += res.BadRecords
+			if final {
+				base += int64(len(buf))
+			} else {
+				base += int64(res.CompleteBytes)
 				carry = append(carry[:0], buf[res.CompleteBytes:]...)
 				if len(carry) > stats.MaxCarryOver {
 					stats.MaxCarryOver = len(carry)
@@ -440,10 +598,13 @@ func Run(cfg Config, parser Parser, src *Source) (*Result, error) {
 		done <- nil
 	}()
 
-	if err := <-done; err != nil {
-		return nil, err
-	}
+	err := <-done
 	stats.Duration = time.Since(start)
 	stats.DeviceBytes = cfg.Arena.PeakBytes()
-	return &Result{Tables: tables, Stats: stats}, nil
+	stats.Retries, stats.RetriedBytes = src.RetryStats()
+	res := &Result{Tables: tables, Stats: stats}
+	if err != nil {
+		return res, err
+	}
+	return res, nil
 }

@@ -22,10 +22,11 @@ type lineParser struct {
 	partitions [][]byte // inputs as seen per partition (with carry)
 }
 
-func (p *lineParser) ParsePartition(input []byte, final bool) (PartitionResult, error) {
+func (p *lineParser) ParsePartition(part Partition) (PartitionResult, error) {
+	input := part.Input
 	p.partitions = append(p.partitions, append([]byte(nil), input...))
 	complete := bytes.LastIndexByte(input, '\n') + 1
-	if final {
+	if part.Final {
 		complete = len(input)
 	}
 	var lines []string
@@ -149,7 +150,7 @@ func TestRunEmptyInput(t *testing.T) {
 
 func TestRunParserError(t *testing.T) {
 	boom := errors.New("boom")
-	parser := ParserFunc(func(input []byte, final bool) (PartitionResult, error) {
+	parser := ParserFunc(func(part Partition) (PartitionResult, error) {
 		return PartitionResult{}, boom
 	})
 	_, err := Run(Config{PartitionSize: 4, Bus: testBus()}, parser, BytesSource([]byte("abcdefgh")))
@@ -159,8 +160,8 @@ func TestRunParserError(t *testing.T) {
 }
 
 func TestRunBadCompleteBytes(t *testing.T) {
-	parser := ParserFunc(func(input []byte, final bool) (PartitionResult, error) {
-		return PartitionResult{CompleteBytes: len(input) + 5}, nil
+	parser := ParserFunc(func(part Partition) (PartitionResult, error) {
+		return PartitionResult{CompleteBytes: len(part.Input) + 5}, nil
 	})
 	if _, err := Run(Config{PartitionSize: 4, Bus: testBus()}, parser, BytesSource([]byte("abcdefgh"))); err == nil {
 		t.Fatal("want error for out-of-range CompleteBytes")
@@ -199,10 +200,11 @@ func TestStreamingScheduleOverlap(t *testing.T) {
 		}
 	}
 	parseDelay := 15 * time.Millisecond
-	parser := ParserFunc(func(in []byte, final bool) (PartitionResult, error) {
+	parser := ParserFunc(func(part Partition) (PartitionResult, error) {
+		in := part.Input
 		time.Sleep(parseDelay)
 		complete := bytes.LastIndexByte(in, '\n') + 1
-		if final {
+		if part.Final {
 			complete = len(in)
 		}
 		return PartitionResult{CompleteBytes: complete, OutputBytes: partSize}, nil

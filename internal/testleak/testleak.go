@@ -1,0 +1,51 @@
+// Package testleak is a dependency-free goroutine-leak check for the
+// stream test packages: snapshot the goroutine count before a test body,
+// assert it settles back afterwards. The streaming pipeline's contract
+// is that every exit path — success, typed error, quarantine,
+// cancellation — joins its goroutines; this is the harness that holds it
+// to that.
+package testleak
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// settleTimeout bounds how long After waits for goroutines started by
+// the test body to unwind. Exiting goroutines need a scheduler pass (and
+// under -race, instrumentation time) to disappear from the count.
+const settleTimeout = 5 * time.Second
+
+// Count returns the current goroutine count after a settling pause, for
+// use as the baseline of a later After call.
+func Count() int {
+	runtime.Gosched()
+	return runtime.NumGoroutine()
+}
+
+// After fails t if the goroutine count does not settle back to at most
+// baseline within the timeout. Call with a baseline taken by Count
+// before the workload:
+//
+//	base := testleak.Count()
+//	... run streams, inject faults, cancel contexts ...
+//	testleak.After(t, base)
+func After(t testing.TB, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(settleTimeout)
+	var n int
+	for {
+		n = runtime.NumGoroutine()
+		if n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	t.Errorf("goroutine leak: %d live, baseline %d; stacks:\n%s", n, baseline, buf)
+}

@@ -2,6 +2,7 @@ package parparaw
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"time"
 
@@ -46,6 +47,41 @@ func NewBus(cfg BusConfig) *Bus {
 	})}
 }
 
+// RetryPolicy makes a streaming run resilient to transient reader
+// failures: a failed read is retried in place — the stream's byte
+// accounting is exact, so the retry resumes at the exact offset of the
+// failed attempt, with no loss and no duplication — up to MaxAttempts
+// times with capped exponential backoff. Errors the classifier rejects
+// (and exhausted retries) surface as a typed error matching ErrInput,
+// carrying the exact byte offset consumed before the failure.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts for one failing read
+	// position (1 failed read + MaxAttempts-1 retries). Values <= 1
+	// disable retrying.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; it doubles per
+	// attempt. Zero means 1ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. Zero means 250ms.
+	MaxDelay time.Duration
+	// Retryable classifies errors worth retrying. Nil retries every
+	// error (still bounded by MaxAttempts). io.EOF is never retried.
+	Retryable func(error) bool
+}
+
+// BadRecord is one malformed record diverted to the OnBadRecord
+// callback: its partition, output row, absolute byte offset, and raw
+// bytes (without the trailing record delimiter). The Raw slice aliases
+// pipeline memory and is only valid for the duration of the callback;
+// copy it to retain it. For UTF-16 input, Offset and Raw refer to
+// positions in the partition's UTF-8 transcription.
+type BadRecord struct {
+	Partition int
+	Row       int64
+	Offset    int64
+	Raw       []byte
+}
+
 // StreamOptions configure a streaming parse.
 type StreamOptions struct {
 	// Options are the per-partition parse options. A nil Schema is
@@ -65,8 +101,34 @@ type StreamOptions struct {
 	// DeviceBudget, when positive, bounds the estimated device bytes of
 	// the partitions concurrently in flight: the ring stops admitting
 	// new partitions while the budget would be exceeded. One partition
-	// is always admitted, so the run progresses under any budget.
+	// is always admitted, so the run progresses under any budget —
+	// unless StrictBudget is also set.
 	DeviceBudget int64
+	// StrictBudget fails the run with a typed error matching ErrBudget
+	// when a single partition's estimated footprint alone exceeds
+	// DeviceBudget, instead of admitting it anyway.
+	StrictBudget bool
+	// Retry is the transient-failure policy for the input reader. The
+	// zero value disables retrying: the first read error fails the run.
+	Retry RetryPolicy
+	// OnBadRecord, when non-nil, receives every record flagged rejected
+	// (inconsistent column count under RejectInconsistent, unconvertible
+	// field under RejectMalformed) with its raw bytes and offset — the
+	// graceful-degradation divert channel. Diverted records also remain
+	// flagged in their table's rejected vector. The callback runs on a
+	// partition-parse goroutine; under InFlight > 1 calls may be
+	// concurrent, so the callback must be safe for concurrent use.
+	OnBadRecord func(BadRecord)
+	// SkipBadPartitions quarantines partitions whose parse fails with a
+	// contained panic or a validation error, instead of failing the run:
+	// the partition's output is dropped, counted in
+	// StreamStats.QuarantinedPartitions, and the stream continues. When
+	// the failed partition's record boundary was pre-scanned the carry
+	// chain is intact and no neighbouring record is affected; on the
+	// serial carry path the pending carry is dropped with the partition,
+	// so a record straddling into it may also lose its head. Reader
+	// failures and cancellation are never quarantined.
+	SkipBadPartitions bool
 }
 
 // StreamStats describes a streaming run.
@@ -123,6 +185,17 @@ type StreamStats struct {
 	ReadBusy     time.Duration
 	BoundaryBusy time.Duration
 	EmitBusy     time.Duration
+	// Retries is the number of input read attempts that failed and were
+	// retried under the run's RetryPolicy; RetriedBytes is the bytes
+	// recovered by reads that succeeded after at least one retry.
+	Retries      int64
+	RetriedBytes int64
+	// QuarantinedPartitions counts partitions whose parse failed and was
+	// quarantined under SkipBadPartitions instead of failing the run;
+	// QuarantinedRecords counts individual malformed records diverted to
+	// OnBadRecord.
+	QuarantinedPartitions int
+	QuarantinedRecords    int64
 }
 
 // StreamResult is a completed streaming parse.
@@ -175,6 +248,12 @@ func Stream(input []byte, opts StreamOptions) (*StreamResult, error) {
 	return StreamReader(bytes.NewReader(input), opts)
 }
 
+// StreamContext is Stream with a cancellation context: see
+// Engine.StreamReaderContext for the cancellation contract.
+func StreamContext(ctx context.Context, input []byte, opts StreamOptions) (*StreamResult, error) {
+	return StreamReaderContext(ctx, bytes.NewReader(input), opts)
+}
+
 // StreamReader parses everything r yields through the end-to-end
 // streaming pipeline of §4.4, pulling fixed-size partitions from the
 // reader as the device consumes them. The full input is never
@@ -189,15 +268,26 @@ func Stream(input []byte, opts StreamOptions) (*StreamResult, error) {
 // construct an Engine once and use Engine.StreamReader, which this
 // function wraps with a throwaway engine.
 func StreamReader(r io.Reader, opts StreamOptions) (*StreamResult, error) {
+	return StreamReaderContext(context.Background(), r, opts)
+}
+
+// StreamReaderContext is StreamReader with a cancellation context: see
+// Engine.StreamReaderContext for the cancellation contract and the
+// partial-result semantics.
+func StreamReaderContext(ctx context.Context, r io.Reader, opts StreamOptions) (*StreamResult, error) {
 	e, err := NewEngine(opts.Options)
 	if err != nil {
 		return nil, err
 	}
-	return e.StreamReader(r, StreamConfig{
-		PartitionSize: opts.PartitionSize,
-		Bus:           opts.Bus,
-		Unordered:     opts.Unordered,
-		DeviceBudget:  opts.DeviceBudget,
+	return e.StreamReaderContext(ctx, r, StreamConfig{
+		PartitionSize:     opts.PartitionSize,
+		Bus:               opts.Bus,
+		Unordered:         opts.Unordered,
+		DeviceBudget:      opts.DeviceBudget,
+		StrictBudget:      opts.StrictBudget,
+		Retry:             opts.Retry,
+		OnBadRecord:       opts.OnBadRecord,
+		SkipBadPartitions: opts.SkipBadPartitions,
 	})
 }
 
