@@ -113,6 +113,31 @@ func BenchmarkParseTaxi(b *testing.B) {
 	benchWorkload(b, spec, core.Options{Schema: spec.Schema})
 }
 
+// BenchmarkParseJSONL tracks the JSON-Lines workload — the first
+// non-delimiter grammar on the trajectory: alternating key/value
+// columns, quoted strings with raw escapes, and opaque nested
+// containers. The dfa-states metric records |S|, the multi-DFA cost
+// factor the jsonl grammar pays for depth tracking.
+func BenchmarkParseJSONL(b *testing.B) {
+	spec := workload.JSONLines()
+	m, err := dfa.NewJSONL(dfa.JSONLOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchWorkload(b, spec, core.Options{Machine: m, Schema: spec.Schema})
+	b.ReportMetric(float64(m.NumStates()), "dfa-states")
+}
+
+// BenchmarkParseWeblog tracks the W3C extended-log workload: directive
+// lines that vanish without record footprint, quoted user-agents whose
+// backslash escapes unfold during parsing, and mixed LF/CRLF endings.
+func BenchmarkParseWeblog(b *testing.B) {
+	spec := workload.Weblog()
+	m := dfa.Weblog()
+	benchWorkload(b, spec, core.Options{Machine: m, Schema: spec.Schema})
+	b.ReportMetric(float64(m.NumStates()), "dfa-states")
+}
+
 // BenchmarkParseSkewed tracks the skewed workload (Figure 11 right): one
 // record of ~40% of the input, the degenerate case for load balance and
 // the best case for skip-ahead (one giant quoted field).

@@ -43,6 +43,12 @@ type Result struct {
 	// attributed to the host vs the pipeline.
 	Cores    float64 `json:"cores,omitempty"`
 	InFlight float64 `json:"in_flight,omitempty"`
+	// DFAStates annotates the per-grammar parse benches
+	// (BenchmarkParseJSONL, BenchmarkParseWeblog): the grammar's |S|,
+	// the constant factor the multi-DFA simulation multiplies the
+	// parsing work by — without it, cross-grammar MB/s numbers cannot
+	// be compared.
+	DFAStates float64 `json:"dfa_states,omitempty"`
 	// RowsPruned and BytesSkipped annotate the pushdown ablation
 	// (BenchmarkAblationPushdown): rows the Where predicates pruned and
 	// symbol bytes the partition scatter never moved.
@@ -130,6 +136,8 @@ func parseBench(r io.Reader) (map[string]Result, error) {
 				res.Cores = v
 			case "in-flight":
 				res.InFlight = v
+			case "dfa-states":
+				res.DFAStates = v
 			case "rows-pruned":
 				res.RowsPruned = v
 			case "bytes-skipped":

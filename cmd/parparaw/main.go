@@ -5,10 +5,18 @@
 //
 // Usage:
 //
-//	parparaw [-header] [-delim ,] [-comment '#'] [-mode tagged|inline|delimited]
+//	parparaw [-format csv|tsv|psv|jsonl|weblog] [-header]
+//	         [-delim ,] [-comment '#'] [-mode tagged|inline|delimited]
 //	         [-stream] [-partition-size 32MB] [-inflight N] [-v]
 //	         [-select 0,3,5] [-where '1=JFK;4:int:0:100'] [-head 10]
 //	         [-validate] [-retry N] [-timeout 30s] file.csv
+//
+// -format selects a dialect preset from the registry (see
+// parparaw.Dialects). The default is csv, whose -delim, -comment, and
+// -crlf knobs refine it; the other presets are fixed grammars, so
+// combining them with the CSV knobs is an error. With -header, jsonl
+// names columns from the first record's keys and weblog from the
+// input's "#Fields:" directive — neither consumes a record.
 //
 // The run is cancellable: SIGINT or SIGTERM (and -timeout expiry)
 // cancels the parse through its context — the streaming ring drains,
@@ -57,6 +65,7 @@ import (
 )
 
 func main() {
+	format := flag.String("format", "csv", "dialect preset: csv, tsv, psv, jsonl, or weblog")
 	header := flag.Bool("header", false, "treat the first record as column names")
 	delim := flag.String("delim", ",", "field delimiter (single byte)")
 	comment := flag.String("comment", "", "line-comment symbol (single byte, optional)")
@@ -102,7 +111,7 @@ func main() {
 		defer cancel()
 	}
 
-	err := run(ctx, *header, *delim, *comment, *crlf, *mode, *streamFlag, *partition, *inFlight, *verbose, *selectSpec, *whereSpec, *head, *validate, *retry, *chunk, flag.Arg(0))
+	err := run(ctx, *format, *header, *delim, *comment, *crlf, *mode, *streamFlag, *partition, *inFlight, *verbose, *selectSpec, *whereSpec, *head, *validate, *retry, *chunk, flag.Arg(0))
 
 	if *cpuprofile != "" {
 		pprof.StopCPUProfile()
@@ -130,7 +139,7 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, header bool, delim, comment string, crlf bool, modeName string, streaming bool, partition string, inFlight int, verbose bool, selectSpec, whereSpec string, head int, validate bool, retry, chunk int, path string) error {
+func run(ctx context.Context, formatName string, header bool, delim, comment string, crlf bool, modeName string, streaming bool, partition string, inFlight int, verbose bool, selectSpec, whereSpec string, head int, validate bool, retry, chunk int, path string) error {
 	var input io.Reader
 	if path == "" || path == "-" {
 		input = os.Stdin
@@ -155,20 +164,34 @@ func run(ctx context.Context, header bool, delim, comment string, crlf bool, mod
 		return fmt.Errorf("unknown mode %q", modeName)
 	}
 
-	csv := parparaw.CSV{CRLF: crlf}
-	if len(delim) != 1 {
-		return fmt.Errorf("delimiter must be one byte, got %q", delim)
-	}
-	csv.Delimiter = delim[0]
-	if comment != "" {
-		if len(comment) != 1 {
-			return fmt.Errorf("comment symbol must be one byte, got %q", comment)
+	var fmtSpec *parparaw.Format
+	if strings.EqualFold(formatName, "csv") {
+		csv := parparaw.CSV{CRLF: crlf}
+		if len(delim) != 1 {
+			return fmt.Errorf("delimiter must be one byte, got %q", delim)
 		}
-		csv.Comment = comment[0]
+		csv.Delimiter = delim[0]
+		if comment != "" {
+			if len(comment) != 1 {
+				return fmt.Errorf("comment symbol must be one byte, got %q", comment)
+			}
+			csv.Comment = comment[0]
+		}
+		fmtSpec = parparaw.NewCSV(csv)
+	} else {
+		// The other presets are fixed grammars; the CSV refinement
+		// knobs would be silently ignored, so reject them loudly.
+		if delim != "," || comment != "" || crlf {
+			return fmt.Errorf("-delim/-comment/-crlf apply only to -format csv, not %q", formatName)
+		}
+		var err error
+		if fmtSpec, err = parparaw.FormatByName(formatName); err != nil {
+			return err
+		}
 	}
 
 	opts := parparaw.Options{
-		Format:    parparaw.NewCSV(csv),
+		Format:    fmtSpec,
 		HasHeader: header,
 		Mode:      mode,
 		ChunkSize: chunk,

@@ -1,0 +1,90 @@
+package parparaw
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Dialect is a named Format preset: the bridge between a string a user
+// can type (a CLI flag, a config file entry) and compiled parsing
+// rules. The registry covers the grammar families this package ships —
+// the paper's point (§1–§2) being that they all run through the same
+// format-generic FSM pipeline, not per-format parser code.
+type Dialect struct {
+	// Name is the registry key ("csv", "tsv", …), lower-case.
+	Name string
+	// Description is a one-line human-readable summary.
+	Description string
+	// New compiles a fresh Format with the dialect's default options.
+	// Formats are immutable and internally cached machines are shared,
+	// so calling it repeatedly is cheap.
+	New func() *Format
+}
+
+// dialects is the built-in registry. Keep CLI help text
+// (cmd/parparaw) in sync with the names here.
+var dialects = map[string]Dialect{
+	"csv": {
+		Name:        "csv",
+		Description: "RFC 4180 CSV: comma-delimited, double-quote enclosed, \"\" escapes",
+		New:         DefaultFormat,
+	},
+	"tsv": {
+		Name:        "tsv",
+		Description: "tab-delimited with backslash escapes (mysqldump/COPY style)",
+		New:         func() *Format { return mustFormat(NewTSV(TSV{})) },
+	},
+	"psv": {
+		Name:        "psv",
+		Description: "pipe-delimited with backslash escapes",
+		New:         func() *Format { return mustFormat(NewTSV(TSV{Delimiter: '|'})) },
+	},
+	"jsonl": {
+		Name:        "jsonl",
+		Description: "JSON Lines: one object per record, keys/values as alternating columns",
+		New:         func() *Format { return mustFormat(NewJSONL(JSONL{})) },
+	},
+	"weblog": {
+		Name:        "weblog",
+		Description: "W3C extended log format: space-delimited, # directives, quoted fields",
+		New:         NewWeblog,
+	},
+}
+
+func mustFormat(f *Format, err error) *Format {
+	if err != nil {
+		panic(err) // unreachable: registry presets use valid options
+	}
+	return f
+}
+
+// Dialects lists the built-in dialect presets sorted by name.
+func Dialects() []Dialect {
+	out := make([]Dialect, 0, len(dialects))
+	for _, d := range dialects {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// DialectByName returns the named dialect preset (case-insensitive).
+func DialectByName(name string) (Dialect, bool) {
+	d, ok := dialects[strings.ToLower(name)]
+	return d, ok
+}
+
+// FormatByName compiles the named dialect's Format, with an error that
+// lists the valid names — the shape CLI flag parsing wants.
+func FormatByName(name string) (*Format, error) {
+	d, ok := DialectByName(name)
+	if !ok {
+		names := make([]string, 0, len(dialects))
+		for _, d := range Dialects() {
+			names = append(names, d.Name)
+		}
+		return nil, fmt.Errorf("parparaw: unknown format %q (have %s)", name, strings.Join(names, ", "))
+	}
+	return d.New(), nil
+}

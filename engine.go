@@ -126,6 +126,17 @@ func (e *Engine) ParseReaderContext(ctx context.Context, r io.Reader) (*Result, 
 	if len(head) <= threshold {
 		return e.ParseContext(ctx, head)
 	}
+	if !e.plan.BoundarySound() {
+		// The format cannot be cut at record boundaries, so the
+		// memory-bounding streamed route is unsound: buffer the whole
+		// input and parse it in one shot.
+		rest, err := io.ReadAll(r)
+		if err != nil {
+			return nil, fmt.Errorf("parparaw: reading input: %w",
+				&parparawerr.InputError{Offset: int64(len(head) + len(rest)), Partition: parparawerr.NoPartition, Attempts: 1, Err: err})
+		}
+		return e.ParseContext(ctx, append(head, rest...))
+	}
 	sres, err := e.StreamReaderContext(ctx, io.MultiReader(bytes.NewReader(head), r), StreamConfig{
 		Bus: NewBus(instantBus),
 	})
@@ -218,6 +229,9 @@ func (e *Engine) StreamReader(r io.Reader, cfg StreamConfig) (*StreamResult, err
 // inside the source's io.Reader: Go cannot cancel a Read in flight, so
 // a stalled reader delays (but never prevents) the shutdown.
 func (e *Engine) StreamReaderContext(ctx context.Context, r io.Reader, cfg StreamConfig) (*StreamResult, error) {
+	if !e.plan.BoundarySound() {
+		return nil, ErrUnstreamable
+	}
 	partSize := cfg.PartitionSize
 	if partSize <= 0 {
 		partSize = DefaultPartitionSize

@@ -1,6 +1,18 @@
 package parparaw
 
-import "repro/parparawerr"
+import (
+	"errors"
+
+	"repro/parparawerr"
+)
+
+// ErrUnstreamable: the engine's Format cannot be streamed — a record-
+// delimiter transition of its DFA does not return to the start state,
+// so no partition-at-a-time parse (pre-scan or serial carry) is
+// correct. Only FormatBuilder grammars can trip this; every built-in
+// dialect is streamable (Format.Streamable). Parse the input whole
+// instead.
+var ErrUnstreamable = errors.New("parparaw: format is not streamable: a record-delimiter transition does not return to the start state")
 
 // The error taxonomy: every failure a parse or streaming run can return
 // matches exactly one of these sentinels under errors.Is, and carries a

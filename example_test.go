@@ -110,3 +110,32 @@ func ExampleNewCSV() {
 	// 10 a;b
 	// 20 plain
 }
+
+// ExampleNewJSONL parses JSON-Lines through the same format-generic
+// FSM pipeline as CSV: top-level keys and values become alternating
+// columns, quoted strings shed their quotes but keep escape sequences
+// raw, and nested containers stay opaque field bytes. With HasHeader,
+// column names come from the first record's keys — without consuming
+// the record.
+func ExampleNewJSONL() {
+	format, err := parparaw.NewJSONL(parparaw.JSONL{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	input := []byte(`{"city":"Berlin","pop":3769495,"geo":[52.5,13.4]}
+{"city":"Paris","pop":2161000,"geo":[48.9,2.3]}
+`)
+	res, err := parparaw.Parse(input, parparaw.Options{Format: format, HasHeader: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	city := res.Table.ColumnByName("city")
+	pop := res.Table.ColumnByName("pop")
+	geo := res.Table.ColumnByName("geo")
+	for i := 0; i < res.Table.NumRows(); i++ {
+		fmt.Println(city.StringValue(i), pop.Int64(i), geo.StringValue(i))
+	}
+	// Output:
+	// Berlin 3769495 [52.5,13.4]
+	// Paris 2161000 [48.9,2.3]
+}

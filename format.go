@@ -44,9 +44,98 @@ func NewCSV(opts CSV) *Format {
 	})}
 }
 
+// TSV describes a backslash-escape delimiter dialect (TSV/PSV in the
+// mysqldump / PostgreSQL COPY tradition): no enclosing quotes — the
+// escape symbol makes the following byte literal instead, so delimiters
+// and record delimiters can appear inside field values. The escape
+// introducer is dropped from the value and the escaped byte kept, i.e.
+// single-byte escapes unfold during parsing.
+type TSV struct {
+	// Delimiter separates fields. Defaults to '\t'; use '|' for PSV.
+	Delimiter byte
+	// Escape makes the next byte literal field data. Defaults to '\\'.
+	Escape byte
+	// Comment, when non-zero, declares a line-comment symbol valid at
+	// record start.
+	Comment byte
+	// CRLF switches the record delimiter from "\n" to the strict
+	// two-byte "\r\n": a bare '\r' or bare '\n' outside an escape is
+	// then invalid input.
+	CRLF bool
+}
+
+// NewTSV compiles a backslash-escape TSV/PSV dialect into a Format.
+func NewTSV(opts TSV) (*Format, error) {
+	rd := "\n"
+	if opts.CRLF {
+		rd = "\r\n"
+	}
+	m, err := dfa.NewEscaped(dfa.EscapedOptions{
+		FieldDelim:  opts.Delimiter,
+		Escape:      opts.Escape,
+		Comment:     opts.Comment,
+		RecordDelim: rd,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Format{m: m}, nil
+}
+
+// JSONL describes the JSON-Lines dialect: one JSON object per '\n'-
+// terminated record. Top-level keys and values map to alternating
+// columns ({"a":1,"b":2} parses as the four fields a, 1, b, 2); quoted
+// strings shed their quotes but keep escape sequences raw; nested
+// objects and arrays are opaque field bytes, balanced up to MaxDepth.
+// The grammar validates structure, not JSON: bare tokens pass, a raw
+// newline outside the record terminator does not. With
+// Options.HasHeader, column names derive from the first record's keys
+// without consuming it (see Options.HasHeader).
+type JSONL struct {
+	// MaxDepth bounds container nesting, counting the top-level object
+	// as depth 1 (JSON nesting is not regular, so the DFA must bound
+	// it). 0 means dfa's default; valid range [1, 4].
+	MaxDepth int
+}
+
+// NewJSONL compiles the JSON-Lines dialect into a Format.
+func NewJSONL(opts JSONL) (*Format, error) {
+	m, err := dfa.NewJSONL(dfa.JSONLOptions{MaxDepth: opts.MaxDepth})
+	if err != nil {
+		return nil, err
+	}
+	return &Format{m: m}, nil
+}
+
+// NewWeblog returns the W3C Extended Log Format dialect: space-
+// delimited fields, '#' directive lines that vanish from the output,
+// optionally double-quoted fields (user-agent, referrer) with backslash
+// escapes that unfold during parsing, and CRLF tolerance. With
+// Options.HasHeader, column names come from the input's "#Fields:"
+// directive without consuming any record (see Options.HasHeader). It
+// promotes the grammar the examples/weblog walkthrough previously
+// approximated with a space-delimited CSV dialect to a first-class
+// format.
+func NewWeblog() *Format { return &Format{m: dfa.Weblog()} }
+
 // NumStates returns the number of DFA states, |S| — the constant factor
 // by which the multi-DFA simulation multiplies the parsing work (§3.1).
 func (f *Format) NumStates() int { return f.m.NumStates() }
+
+// Kind names the grammar family the format was compiled from: "csv",
+// "escaped" (TSV/PSV), "jsonl", "weblog", or "" for formats assembled
+// through FormatBuilder. Dialect-aware layers (header inference, the
+// CLI's -format flag) dispatch on it; the parsing kernels never do —
+// every format runs the same format-generic pipeline.
+func (f *Format) Kind() string { return f.m.Kind() }
+
+// Streamable reports whether the format may be parsed through the
+// streaming pipeline (Engine.Stream and friends): every record-
+// delimiter transition of its DFA must return to the start state, so
+// that a partition cut at a record boundary parses correctly from the
+// start state. All formats built by this package's constructors are
+// streamable; a FormatBuilder grammar that is not must be parsed whole.
+func (f *Format) Streamable() bool { return f.m.ResetsOnRecordDelim() }
 
 // Validate runs the DFA over the input sequentially and reports whether
 // it is valid under the format (§4.3 "Validating format"). Parsing

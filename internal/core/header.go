@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 
 	"repro/internal/device"
@@ -82,6 +83,98 @@ func splitHeader(m *dfa.Machine, input []byte) (names []string, rest []byte, err
 		names = append(names, string(cur))
 	}
 	return names, nil, nil
+}
+
+// inferHeader resolves HasHeader according to the machine's dialect.
+// Delimiter dialects (csv, escaped, builder-made) consume the first
+// record as the column names. Self-describing dialects derive names
+// without consuming anything: jsonl reads them off the first record's
+// keys (the record still parses as data), weblog reads the "#Fields:"
+// directive (directive lines vanish from the output anyway).
+func inferHeader(m *dfa.Machine, input []byte) (names []string, rest []byte, err error) {
+	switch m.Kind() {
+	case "jsonl":
+		names, err = jsonlHeader(m, input)
+		return names, input, err
+	case "weblog":
+		return weblogHeader(input), input, nil
+	default:
+		return splitHeader(m, input)
+	}
+}
+
+// jsonlHeader walks the first record's emissions and names the columns
+// from its keys: the value column carries the key itself and the key
+// column the key suffixed "_key", so {"a":1} yields columns a_key, a.
+// Fields with an empty key fall back to positional names.
+func jsonlHeader(m *dfa.Machine, input []byte) ([]string, error) {
+	s := m.Start()
+	var fields []string
+	var cur []byte
+	done := false
+	for i := 0; i < len(input) && !done; i++ {
+		next, e := m.Step(s, input[i])
+		switch {
+		case e.IsRecordDelim():
+			fields = append(fields, string(cur))
+			done = true
+		case e.IsFieldDelim():
+			fields = append(fields, string(cur))
+			cur = nil
+		case e.IsData():
+			cur = append(cur, input[i])
+		}
+		s = next
+		if m.IsInvalid(s) {
+			return nil, fmt.Errorf("core: invalid input at byte %d while inferring JSONL header", i)
+		}
+	}
+	if !done && m.MidRecord(s) {
+		fields = append(fields, string(cur))
+	}
+	names := make([]string, len(fields))
+	for i := range fields {
+		key := fields[i-i%2] // the key field of this key/value pair
+		switch {
+		case key == "":
+			names[i] = fmt.Sprintf("col%d", i)
+		case i%2 == 0:
+			names[i] = key + "_key"
+		default:
+			names[i] = key
+		}
+	}
+	return names, nil
+}
+
+// weblogHeader scans the input's leading directive lines for
+// "#Fields:" and returns its space-separated tokens as the column
+// names, or nil when the first data record appears before one.
+func weblogHeader(input []byte) []string {
+	for len(input) > 0 {
+		line := input
+		if j := bytes.IndexByte(input, '\n'); j >= 0 {
+			line, input = input[:j], input[j+1:]
+		} else {
+			input = nil
+		}
+		line = bytes.TrimRight(line, "\r")
+		line = bytes.TrimLeft(line, " ")
+		if len(line) == 0 {
+			continue
+		}
+		if line[0] != '#' {
+			return nil // data reached without a #Fields directive
+		}
+		if rest, ok := bytes.CutPrefix(line, []byte("#Fields:")); ok {
+			var names []string
+			for _, f := range bytes.Fields(rest) {
+				names = append(names, string(f))
+			}
+			return names
+		}
+	}
+	return nil
 }
 
 // recordDelimByte returns the byte of the machine's first symbol group,

@@ -94,7 +94,13 @@ func TestParsePaperExample(t *testing.T) {
 	}
 }
 
-// referenceParse parses with encoding/csv for cross-checking.
+// referenceParse parses with encoding/csv for cross-checking. The one
+// documented divergence is normalised centrally here instead of being
+// dodged by every generator: encoding/csv silently skips fully blank
+// lines, while ParPaRaw keeps each as a one-field record ("" — pinned
+// by TestParseEmptyLinesAreSingleFieldRecords). A quote-aware scan
+// locates the blank lines and re-inserts their records in order, so
+// callers may feed inputs containing them freely.
 func referenceParse(t *testing.T, in string) [][]string {
 	t.Helper()
 	r := csv.NewReader(strings.NewReader(in))
@@ -103,7 +109,36 @@ func referenceParse(t *testing.T, in string) [][]string {
 	if err != nil {
 		t.Fatalf("reference parser rejected input: %v", err)
 	}
-	return rows
+	// blanks[i] reports whether ParPaRaw's record i is a blank line.
+	var blanks []bool
+	inQuote, empty := false, true
+	for i := 0; i < len(in); i++ {
+		switch {
+		case in[i] == '"':
+			inQuote = !inQuote // "" toggles twice: harmless
+			empty = false
+		case in[i] == '\n' && !inQuote:
+			blanks = append(blanks, empty)
+			empty = true
+		default:
+			empty = false
+		}
+	}
+	if !empty { // trailing record without a newline
+		blanks = append(blanks, false)
+	}
+	out := make([][]string, 0, len(blanks))
+	next := 0
+	for _, blank := range blanks {
+		switch {
+		case blank:
+			out = append(out, []string{""})
+		case next < len(rows):
+			out = append(out, rows[next])
+			next++
+		}
+	}
+	return append(out, rows[next:]...)
 }
 
 // TestParseMatchesEncodingCSV fuzzes RFC 4180 inputs and demands cell-level
@@ -114,17 +149,20 @@ func TestParseMatchesEncodingCSV(t *testing.T) {
 	gen := func(records, cols int, quoted bool) string {
 		var sb strings.Builder
 		for r := 0; r < records; r++ {
+			// Blank lines ride along when they keep the column count
+			// constant (the fast tagging modes reject ragged input);
+			// referenceParse normalises encoding/csv's skipping of them.
+			if cols == 1 && rng.Intn(6) == 0 {
+				sb.WriteByte('\n')
+				continue
+			}
 			for c := 0; c < cols; c++ {
 				if c > 0 {
 					sb.WriteByte(',')
 				}
-				if c == 0 {
-					// Keep the first field non-empty and unquoted:
-					// encoding/csv skips fully blank lines while ParPaRaw
-					// keeps them as one-field records, a legitimate
-					// semantic difference pinned by
-					// TestParseEmptyLinesAreSingleFieldRecords.
-					sb.WriteByte(byte('A' + rng.Intn(26)))
+				if c == 0 && cols > 1 && rng.Intn(4) == 0 {
+					// empty leading field: the line is not blank, the
+					// commas keep it visible to encoding/csv
 					continue
 				}
 				if quoted && rng.Intn(2) == 0 {

@@ -164,6 +164,19 @@ func (p *Plan) ScanRemainder(input []byte) int {
 	return p.opts.Machine.RecordRemainder(input)
 }
 
+// BoundarySound reports whether partition-at-a-time streaming is sound
+// for this plan's machine: every record-delimiter transition must
+// return to the start state, so an input cut at a record boundary
+// parses from the start state exactly as it would mid-stream. This
+// covers both the ring's record-boundary pre-scan (ScanRemainder) and
+// the serial carry path — when it is false, no streaming mode is
+// correct and callers must parse the input whole. Every grammar the
+// dfa package ships satisfies it; only Builder-assembled machines can
+// fail it.
+func (p *Plan) BoundarySound() bool {
+	return p.opts.Machine.ResetsOnRecordDelim()
+}
+
 // Execute runs the compiled plan's kernel pipeline over input with the
 // given per-run parameters. It is the execute half of the
 // compile-once/execute-many split: no DFA construction, option
@@ -211,7 +224,7 @@ func (p *Plan) Execute(input []byte, exec Exec) (*Result, error) {
 	}
 	if o.HasHeader {
 		var err error
-		header, body, err = splitHeader(o.Machine, body)
+		header, body, err = inferHeader(o.Machine, body)
 		if err != nil {
 			return nil, err
 		}

@@ -24,10 +24,16 @@ type Builder struct {
 	accepting []bool
 	midRecord []bool
 	invalid   int
+	kind      string
 	symbols   []byte
 	trans     map[int]map[int]State
 	emit      map[int]map[int]Emission
 }
+
+// SetKind names the grammar family the machine under construction
+// belongs to (Machine.Kind). The in-package grammar constructors set it;
+// user-assembled machines default to "".
+func (b *Builder) SetKind(kind string) { b.kind = kind }
 
 // NewBuilder returns an empty builder.
 func NewBuilder() *Builder {
@@ -136,6 +142,7 @@ func (b *Builder) Build(start State) (*Machine, error) {
 	m := &Machine{
 		numStates:  n,
 		start:      start,
+		kind:       b.kind,
 		stateNames: append([]string(nil), b.states...),
 		accepting:  append([]bool(nil), b.accepting...),
 		midRecord:  append([]bool(nil), b.midRecord...),
@@ -167,6 +174,18 @@ func (b *Builder) Build(start State) (*Machine, error) {
 		for g := 0; g < groups; g++ {
 			if m.trans[g*n+int(m.invalid)] != m.invalid {
 				return nil, fmt.Errorf("dfa: invalid state %q is not a sink for group %d", b.states[m.invalid], g)
+			}
+		}
+	}
+	// Streaming-soundness metadata: record-delimiter transitions that
+	// return to the start state are what let the stream be cut at record
+	// boundaries and each partition parsed from Start (see
+	// ResetsOnRecordDelim).
+	m.resets = true
+	for g := 0; g < groups; g++ {
+		for s := 0; s < n; s++ {
+			if m.emit[g*n+s].IsRecordDelim() && m.trans[g*n+s] != start {
+				m.resets = false
 			}
 		}
 	}

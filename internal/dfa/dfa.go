@@ -89,11 +89,13 @@ const (
 type Machine struct {
 	numStates  int
 	start      State
+	kind       string
 	stateNames []string
 	accepting  []bool
 	midRecord  []bool
 	invalid    State // sink state entered on invalid transitions
 	hasInvalid bool
+	resets     bool // every record-delim transition targets the start state
 
 	symbols []byte // group g < len(symbols) matches symbols[g]; last group is catch-all
 	matcher *device.SWARMatcher
@@ -123,6 +125,24 @@ func (m *Machine) NumGroups() int { return m.groups }
 // Start returns the machine's start state (the state a sequential parser
 // would begin the whole input in).
 func (m *Machine) Start() State { return m.start }
+
+// Kind names the grammar family this machine was compiled from ("csv",
+// "jsonl", "escaped", "weblog"), or "" for machines assembled directly
+// through the Builder. Dialect-aware layers (header/schema inference,
+// CLI format selection) dispatch on it; the parsing kernels never do —
+// every machine runs through the same format-generic pipeline.
+func (m *Machine) Kind() string { return m.kind }
+
+// ResetsOnRecordDelim reports whether every record-delimiter-emitting
+// transition targets the start state. This is the property that makes
+// partition-at-a-time streaming sound: the carry-over contract cuts the
+// stream at record boundaries and parses each partition from the start
+// state, and the ring's record-boundary pre-scan (RecordRemainder)
+// additionally walks each partition from the start state. All machines
+// built by this package's grammar constructors satisfy it; a
+// Builder-assembled grammar that does not must be parsed whole, never
+// streamed.
+func (m *Machine) ResetsOnRecordDelim() bool { return m.resets }
 
 // StateName returns the human-readable name of s.
 func (m *Machine) StateName(s State) string {

@@ -1,0 +1,202 @@
+package dfa
+
+import "fmt"
+
+// This file defines the backslash-escape delimiter family (TSV/PSV in
+// the mysqldump / PostgreSQL COPY tradition): no enclosing quotes —
+// instead an escape symbol makes the following byte literal, so
+// delimiters and even record delimiters can appear inside field values.
+// The escape introducer itself is a control symbol (dropped from the
+// value) and the escaped byte is data, i.e. the machine unfolds
+// single-byte escapes for free; multi-byte sequences like \t-as-tab are
+// a conversion concern.
+//
+// The family also exercises multi-character record delimiters: with
+// RecordDelim "\r\n" the machine walks a dedicated CR state and treats a
+// bare '\r' or bare '\n' as invalid, the strict two-symbol-lookahead
+// case a quote-counting parser cannot express but a DFA encodes in one
+// extra state (§2).
+
+// EscapedOptions parameterise the escape-delimited machine.
+type EscapedOptions struct {
+	// FieldDelim is the field delimiter. Defaults to '\t' (TSV); use
+	// '|' for PSV.
+	FieldDelim byte
+	// Escape is the escape introducer. Defaults to '\\'. The byte after
+	// it is literal data, whatever it is — including the field
+	// delimiter, the escape itself, '\r' and '\n'.
+	Escape byte
+	// Comment, when non-zero, declares a line-comment symbol valid at
+	// record start; comment lines vanish from the output.
+	Comment byte
+	// RecordDelim is the record delimiter sequence: "\n" (default) or
+	// "\r\n". The CRLF form is strict — a bare '\r' or bare '\n'
+	// outside an escape is invalid input.
+	RecordDelim string
+}
+
+func (o EscapedOptions) withDefaults() EscapedOptions {
+	if o.FieldDelim == 0 {
+		o.FieldDelim = '\t'
+	}
+	if o.Escape == 0 {
+		o.Escape = '\\'
+	}
+	if o.RecordDelim == "" {
+		o.RecordDelim = "\n"
+	}
+	return o
+}
+
+// NewEscaped builds the escape-delimited machine. States:
+//
+//	EOR  just consumed a record delimiter (start state)
+//	FLD  mid-record (inside a field or just past a field delimiter)
+//	ESC  consumed the escape introducer; the next byte is literal
+//	CR   consumed '\r' of a "\r\n" record delimiter (CRLF form only)
+//	CMT  inside a comment line (when Comment is set)
+//	CMC  consumed '\r' inside a comment line (CRLF form with Comment)
+//	INV  invalid input (CRLF form only; the LF form rejects nothing)
+func NewEscaped(opts EscapedOptions) (*Machine, error) {
+	o := opts.withDefaults()
+	crlf := false
+	switch o.RecordDelim {
+	case "\n":
+	case "\r\n":
+		crlf = true
+	default:
+		return nil, fmt.Errorf("dfa: escaped RecordDelim %q not supported (want \"\\n\" or \"\\r\\n\")", o.RecordDelim)
+	}
+	for _, c := range []byte{o.FieldDelim, o.Escape, o.Comment} {
+		if c == '\n' || c == '\r' {
+			return nil, fmt.Errorf("dfa: escaped symbol %q collides with the record delimiter", c)
+		}
+	}
+	if o.FieldDelim == o.Escape || (o.Comment != 0 && (o.Comment == o.FieldDelim || o.Comment == o.Escape)) {
+		return nil, fmt.Errorf("dfa: escaped symbols must be distinct (field %q, escape %q, comment %q)",
+			o.FieldDelim, o.Escape, o.Comment)
+	}
+
+	b := NewBuilder()
+	b.SetKind("escaped")
+	eor := b.State("EOR", Accepting(true))
+	fld := b.State("FLD", Accepting(true), MidRecord())
+	esc := b.State("ESC", MidRecord())
+	hasComment := o.Comment != 0
+	var cmt, crs, cmc, inv State
+	if crlf {
+		crs = b.State("CR", MidRecord())
+	}
+	if hasComment {
+		cmt = b.State("CMT", Accepting(true))
+		if crlf {
+			cmc = b.State("CMC", Accepting(true))
+		}
+	}
+	if crlf {
+		inv = b.State("INV", Invalid())
+	}
+
+	nl := b.Group('\n') // first group: the record delimiter byte
+	var cr int
+	if crlf {
+		cr = b.Group('\r')
+	}
+	fd := b.Group(o.FieldDelim)
+	eg := b.Group(o.Escape)
+	var cg int
+	if hasComment {
+		cg = b.Group(o.Comment)
+	}
+	star := b.CatchAll()
+
+	recDelim := EmitRecordDelim | EmitControl
+	fldDelim := EmitFieldDelim | EmitControl
+
+	// Record delimiter byte. In the LF form it delimits directly; in the
+	// CRLF form only the CR state may consume it.
+	if crlf {
+		b.On(nl, crs, eor, recDelim)
+		b.On(nl, esc, fld, EmitData) // escaped LF is field data
+		if hasComment {
+			// The LF completing a comment line's CRLF returns to record
+			// start without delimiting: comment lines vanish.
+			b.On(nl, cmc, eor, EmitControl)
+		}
+		b.OnAll(nl, inv, EmitControl) // bare LF is invalid
+	} else {
+		b.On(nl, eor, eor, recDelim)
+		b.On(nl, fld, eor, recDelim)
+		b.On(nl, esc, fld, EmitData)
+		if hasComment {
+			b.On(nl, cmt, eor, EmitControl)
+		}
+	}
+
+	// Carriage return (CRLF form only): first half of the delimiter.
+	if crlf {
+		b.On(cr, eor, crs, EmitControl)
+		b.On(cr, fld, crs, EmitControl)
+		b.On(cr, esc, fld, EmitData) // escaped CR is field data
+		if hasComment {
+			b.On(cr, cmt, cmc, EmitControl)
+		}
+		b.OnAll(cr, inv, EmitControl) // "\r\r", comment "\r" misuse, …
+	}
+
+	// Field delimiter.
+	b.On(fd, eor, fld, fldDelim)
+	b.On(fd, fld, fld, fldDelim)
+	b.On(fd, esc, fld, EmitData) // escaped delimiter is field data
+	if hasComment {
+		b.On(fd, cmt, cmt, EmitControl)
+	}
+	if crlf {
+		b.OnAll(fd, inv, EmitControl)
+	}
+
+	// Escape introducer: control (dropped), arms the literal next byte.
+	b.On(eg, eor, esc, EmitControl)
+	b.On(eg, fld, esc, EmitControl)
+	b.On(eg, esc, fld, EmitData) // escaped escape is a literal one
+	if hasComment {
+		b.On(eg, cmt, cmt, EmitControl)
+	}
+	if crlf {
+		b.OnAll(eg, inv, EmitControl)
+	}
+
+	// Comment symbol: starts a comment only at record start.
+	if hasComment {
+		b.On(cg, eor, cmt, EmitControl)
+		b.On(cg, fld, fld, EmitData)
+		b.On(cg, esc, fld, EmitData)
+		b.On(cg, cmt, cmt, EmitControl)
+		if crlf {
+			b.OnAll(cg, inv, EmitControl)
+		}
+	}
+
+	// Catch-all: ordinary field bytes.
+	b.On(star, eor, fld, EmitData)
+	b.On(star, fld, fld, EmitData)
+	b.On(star, esc, fld, EmitData)
+	if hasComment {
+		b.On(star, cmt, cmt, EmitControl)
+	}
+	if crlf {
+		b.OnAll(star, inv, EmitControl)
+	}
+
+	return b.Build(eor)
+}
+
+// MustEscaped is NewEscaped that panics on error, for static
+// configurations.
+func MustEscaped(opts EscapedOptions) *Machine {
+	m, err := NewEscaped(opts)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}

@@ -17,6 +17,12 @@ func fusedTestMachines() map[string]*Machine {
 		"rfc4180-table": RFC4180().SetMatchStrategy(MatchTable),
 		"comment-crlf":  NewCSV(CSVOptions{Comment: '#', CarriageReturn: true}),
 		"semicolon":     NewCSV(CSVOptions{FieldDelim: ';', Quote: '\''}),
+		"jsonl":         MustJSONL(JSONLOptions{}),
+		"jsonl-shallow": MustJSONL(JSONLOptions{MaxDepth: 1}),
+		"jsonl-table":   MustJSONL(JSONLOptions{}).SetMatchStrategy(MatchTable),
+		"tsv-escape":    MustEscaped(EscapedOptions{}),
+		"psv-crlf":      MustEscaped(EscapedOptions{FieldDelim: '|', RecordDelim: "\r\n", Comment: '#'}),
+		"weblog":        Weblog(),
 	}
 }
 
@@ -35,7 +41,7 @@ func fusedTestInputs(rng *rand.Rand) [][]byte {
 		[]byte("\"unterminated"),
 		[]byte(",,,\n,,,\n"),
 	}
-	alphabet := []byte("ab,\"\n\r#;'x\x00\xff\x01")
+	alphabet := []byte("ab,\"\n\r#;'x\x00\xff\x01{}[]\\|\t: ")
 	for i := 0; i < 40; i++ {
 		n := rng.Intn(200)
 		in := make([]byte, n)

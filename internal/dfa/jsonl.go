@@ -1,0 +1,253 @@
+package dfa
+
+import "fmt"
+
+// This file defines the JSON-Lines machine: one JSON object per record
+// (https://jsonlines.org), the "more involved parsing rules" family the
+// paper argues a format-generic FSM handles with no loss of speed
+// (§1–§2). The grammar is deliberately structural, not a JSON
+// validator:
+//
+//   - the record is a single top-level object terminated by '\n';
+//   - top-level keys and values become alternating columns: ':' and ','
+//     at depth 1 are field delimiters, so record {"a":1,"b":2} yields
+//     the fields a, 1, b, 2;
+//   - quoted strings exclude their quotes, but escape sequences inside
+//     them are preserved raw ("x\"y" yields the field bytes x\"y) —
+//     unfolding is a conversion concern, not a parsing one;
+//   - nested containers (balanced {...} / [...] to a bounded depth) are
+//     opaque: every byte, including quotes, colons, commas, whitespace
+//     and the braces themselves, is data of the enclosing value field;
+//   - a raw '\n' is only legal as the record terminator (or on a blank
+//     line), which is what keeps the format line-oriented;
+//   - bare tokens (true, 42, even unquoted keys) are tolerated as data;
+//     deeper structural validation stays with a real JSON parser.
+//
+// JSON nesting is not regular, so the machine bounds it: depth d adds a
+// (NEST, NSTR, NESC) state triple, and exceeding MaxDepth is invalid.
+// The statevec 4-bit packing (statevec.MaxStates = 16) admits
+// 6 + 3*(MaxDepth-1) states, hence MaxJSONLDepth = 4 (15 states).
+
+// MaxJSONLDepth is the largest supported MaxDepth: the 4-bit packed
+// state vectors cap the machine at 16 states and depth d needs
+// 6 + 3*(d-1).
+const MaxJSONLDepth = 4
+
+// DefaultJSONLMaxDepth is the MaxDepth used when JSONLOptions leaves it
+// zero.
+const DefaultJSONLMaxDepth = MaxJSONLDepth
+
+// JSONLOptions parameterise the JSON-Lines machine.
+type JSONLOptions struct {
+	// MaxDepth is the maximum container nesting depth, counting the
+	// top-level object as depth 1. MaxDepth 1 therefore rejects any
+	// nested object or array value; the default (0) means
+	// DefaultJSONLMaxDepth. Valid range [1, MaxJSONLDepth].
+	MaxDepth int
+}
+
+// NewJSONL builds the JSON-Lines machine. States:
+//
+//	SOL   start of line (start state; blank lines vanish here)
+//	OBJ   inside the top-level object, outside any string
+//	STR   inside a top-level string (key or value)
+//	ESC   consumed a backslash inside a top-level string
+//	END   consumed the object's closing brace; awaiting '\n'
+//	NESTd inside a nested container at depth d (2 ≤ d ≤ MaxDepth)
+//	NSTRd inside a string at depth d
+//	NESCd consumed a backslash inside a depth-d string
+//	INV   invalid input (sink)
+func NewJSONL(opts JSONLOptions) (*Machine, error) {
+	depth := opts.MaxDepth
+	if depth == 0 {
+		depth = DefaultJSONLMaxDepth
+	}
+	if depth < 1 || depth > MaxJSONLDepth {
+		return nil, fmt.Errorf("dfa: JSONL MaxDepth %d out of range [1, %d]", depth, MaxJSONLDepth)
+	}
+
+	b := NewBuilder()
+	b.SetKind("jsonl")
+	sol := b.State("SOL", Accepting(true))
+	obj := b.State("OBJ", MidRecord())
+	str := b.State("STR", MidRecord())
+	esc := b.State("ESC", MidRecord())
+	end := b.State("END", Accepting(true), MidRecord())
+	// nest[d], nstr[d], nesc[d] are live for 2 <= d <= depth.
+	nest := make([]State, depth+1)
+	nstr := make([]State, depth+1)
+	nesc := make([]State, depth+1)
+	for d := 2; d <= depth; d++ {
+		nest[d] = b.State(fmt.Sprintf("NEST%d", d), MidRecord())
+		nstr[d] = b.State(fmt.Sprintf("NSTR%d", d), MidRecord())
+		nesc[d] = b.State(fmt.Sprintf("NESC%d", d), MidRecord())
+	}
+	inv := b.State("INV", Invalid())
+
+	nl := b.Group('\n') // first group: the record delimiter byte
+	ob := b.Group('{')
+	cb := b.Group('}')
+	oa := b.Group('[')
+	ca := b.Group(']')
+	qt := b.Group('"')
+	bs := b.Group('\\')
+	cl := b.Group(':')
+	cm := b.Group(',')
+	sp := b.Group(' ')
+	tb := b.Group('\t')
+	cr := b.Group('\r')
+	star := b.CatchAll()
+
+	recDelim := EmitRecordDelim | EmitControl
+	fldDelim := EmitFieldDelim | EmitControl
+
+	// push/pop return the state entered when a container opens/closes at
+	// the given source depth; opening beyond MaxDepth is invalid.
+	push := func(from int) State {
+		if from+1 > depth {
+			return inv
+		}
+		return nest[from+1]
+	}
+	pushEmit := func(from int) Emission {
+		if from+1 > depth {
+			return EmitControl
+		}
+		return EmitData
+	}
+	pop := func(from int) State {
+		if from == 2 {
+			return obj
+		}
+		return nest[from-1]
+	}
+
+	// Record delimiter: only blank lines (SOL) and completed objects
+	// (END) may contain a raw '\n'; anywhere else breaks the
+	// line-orientation contract.
+	b.On(nl, sol, sol, EmitControl) // blank line: zero symbols, vanishes
+	b.On(nl, end, sol, recDelim)
+	b.OnAll(nl, inv, EmitControl)
+
+	// '{' opens the record at SOL, a nested object at depth >= 1.
+	b.On(ob, sol, obj, EmitControl)
+	b.On(ob, obj, push(1), pushEmit(1))
+	b.On(ob, str, str, EmitData)
+	b.On(ob, esc, str, EmitData)
+	for d := 2; d <= depth; d++ {
+		b.On(ob, nest[d], push(d), pushEmit(d))
+		b.On(ob, nstr[d], nstr[d], EmitData)
+		b.On(ob, nesc[d], nstr[d], EmitData)
+	}
+	b.OnAll(ob, inv, EmitControl)
+
+	// '}' closes the record at depth 1, a nested container deeper. The
+	// grammar is structural: it balances counts, not bracket kinds.
+	b.On(cb, obj, end, EmitControl)
+	b.On(cb, str, str, EmitData)
+	b.On(cb, esc, str, EmitData)
+	for d := 2; d <= depth; d++ {
+		b.On(cb, nest[d], pop(d), EmitData)
+		b.On(cb, nstr[d], nstr[d], EmitData)
+		b.On(cb, nesc[d], nstr[d], EmitData)
+	}
+	b.OnAll(cb, inv, EmitControl)
+
+	// '[' — the top level must be an object, so it only opens nesting.
+	b.On(oa, obj, push(1), pushEmit(1))
+	b.On(oa, str, str, EmitData)
+	b.On(oa, esc, str, EmitData)
+	for d := 2; d <= depth; d++ {
+		b.On(oa, nest[d], push(d), pushEmit(d))
+		b.On(oa, nstr[d], nstr[d], EmitData)
+		b.On(oa, nesc[d], nstr[d], EmitData)
+	}
+	b.OnAll(oa, inv, EmitControl)
+
+	// ']' closes nested containers; at depth 1 it is unbalanced.
+	b.On(ca, str, str, EmitData)
+	b.On(ca, esc, str, EmitData)
+	for d := 2; d <= depth; d++ {
+		b.On(ca, nest[d], pop(d), EmitData)
+		b.On(ca, nstr[d], nstr[d], EmitData)
+		b.On(ca, nesc[d], nstr[d], EmitData)
+	}
+	b.OnAll(ca, inv, EmitControl)
+
+	// '"' encloses top-level strings (control, like a CSV quote) but is
+	// opaque data inside nested containers.
+	b.On(qt, obj, str, EmitControl)
+	b.On(qt, str, obj, EmitControl)
+	b.On(qt, esc, str, EmitData) // \" stays raw in the field value
+	for d := 2; d <= depth; d++ {
+		b.On(qt, nest[d], nstr[d], EmitData)
+		b.On(qt, nstr[d], nest[d], EmitData)
+		b.On(qt, nesc[d], nstr[d], EmitData)
+	}
+	b.OnAll(qt, inv, EmitControl)
+
+	// '\' arms an escape inside strings (kept raw: it is data) and is
+	// tolerated as bare-token data outside them.
+	b.On(bs, obj, obj, EmitData)
+	b.On(bs, str, esc, EmitData)
+	b.On(bs, esc, str, EmitData)
+	for d := 2; d <= depth; d++ {
+		b.On(bs, nest[d], nest[d], EmitData)
+		b.On(bs, nstr[d], nesc[d], EmitData)
+		b.On(bs, nesc[d], nstr[d], EmitData)
+	}
+	b.OnAll(bs, inv, EmitControl)
+
+	// ':' and ',' delimit fields at depth 1 — that is what maps keys and
+	// values to alternating columns — and are data anywhere deeper.
+	for _, g := range []int{cl, cm} {
+		b.On(g, obj, obj, fldDelim)
+		b.On(g, str, str, EmitData)
+		b.On(g, esc, str, EmitData)
+		for d := 2; d <= depth; d++ {
+			b.On(g, nest[d], nest[d], EmitData)
+			b.On(g, nstr[d], nstr[d], EmitData)
+			b.On(g, nesc[d], nstr[d], EmitData)
+		}
+		b.OnAll(g, inv, EmitControl)
+	}
+
+	// Insignificant whitespace: control at depth 1 (excluded from
+	// fields), opaque data inside nested values, tolerated around the
+	// record at SOL/END.
+	for _, g := range []int{sp, tb, cr} {
+		b.On(g, sol, sol, EmitControl)
+		b.On(g, obj, obj, EmitControl)
+		b.On(g, end, end, EmitControl)
+		b.On(g, str, str, EmitData)
+		b.On(g, esc, str, EmitData)
+		for d := 2; d <= depth; d++ {
+			b.On(g, nest[d], nest[d], EmitData)
+			b.On(g, nstr[d], nstr[d], EmitData)
+			b.On(g, nesc[d], nstr[d], EmitData)
+		}
+		b.OnAll(g, inv, EmitControl)
+	}
+
+	// Catch-all: bare-token and string bytes.
+	b.On(star, obj, obj, EmitData)
+	b.On(star, str, str, EmitData)
+	b.On(star, esc, str, EmitData)
+	for d := 2; d <= depth; d++ {
+		b.On(star, nest[d], nest[d], EmitData)
+		b.On(star, nstr[d], nstr[d], EmitData)
+		b.On(star, nesc[d], nstr[d], EmitData)
+	}
+	b.OnAll(star, inv, EmitControl)
+
+	return b.Build(sol)
+}
+
+// MustJSONL is NewJSONL that panics on error, for static configurations.
+func MustJSONL(opts JSONLOptions) *Machine {
+	m, err := NewJSONL(opts)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}

@@ -69,6 +69,7 @@ func RFC4180() *Machine {
 func NewCSV(opts CSVOptions) *Machine {
 	o := opts.withDefaults()
 	b := NewBuilder()
+	b.SetKind("csv")
 	eor := b.State("EOR", Accepting(true))
 	enc := b.State("ENC", MidRecord())
 	fld := b.State("FLD", Accepting(true), MidRecord())

@@ -1,0 +1,118 @@
+package dfa
+
+// This file defines the weblog machine: W3C Extended Log Format as
+// emitted by IIS/Exchange-style servers (and close cousins like
+// space-delimited access logs). It promotes the grammar the
+// examples/weblog walkthrough previously approximated with a
+// space-delimited CSV dialect to a first-class machine:
+//
+//   - fields are space-delimited; '\n' delimits records;
+//   - '#' at line start opens a directive line (#Version, #Fields, …)
+//     that vanishes from the output like a comment — but its text is
+//     still reachable by a header scan, which is how #Fields drives
+//     column naming;
+//   - a field may be enclosed in double quotes (user-agent, referrer);
+//     the quotes open only at field start and are excluded from the
+//     value; inside them spaces and newlines are data;
+//   - '\' inside a quoted field escapes the next byte: the introducer
+//     is control and the escaped byte is data, so \" unfolds to a
+//     literal quote in the value;
+//   - '\r' outside quoted fields is control (CRLF inputs work
+//     unchanged); inside them it is data;
+//   - there is no invalid sink: logs are scraped, not authored, so the
+//     machine is maximally lenient. The only rejected inputs are
+//     truncated ones that end inside a quoted field (non-accepting
+//     STR/QESC states).
+//
+// States:
+//
+//	EOR   just consumed a record delimiter (start state; blank lines
+//	      and leading spaces vanish here)
+//	EOF   just consumed a field delimiter
+//	FLD   inside an unquoted field (also: after a closing quote)
+//	STR   inside a quoted field
+//	QESC  consumed a backslash inside a quoted field
+//	DIR   inside a directive line
+func Weblog() *Machine {
+	b := NewBuilder()
+	b.SetKind("weblog")
+	eor := b.State("EOR", Accepting(true))
+	eof := b.State("EOF", Accepting(true), MidRecord())
+	fld := b.State("FLD", Accepting(true), MidRecord())
+	str := b.State("STR", MidRecord())
+	qesc := b.State("QESC", MidRecord())
+	dir := b.State("DIR", Accepting(true))
+
+	nl := b.Group('\n') // first group: the record delimiter byte
+	sp := b.Group(' ')
+	qt := b.Group('"')
+	bs := b.Group('\\')
+	hs := b.Group('#')
+	cr := b.Group('\r')
+	star := b.CatchAll()
+
+	recDelim := EmitRecordDelim | EmitControl
+	fldDelim := EmitFieldDelim | EmitControl
+
+	// Record delimiter. Blank lines (EOR) and directive lines (DIR)
+	// consume their newline as plain control, so they leave no record.
+	b.On(nl, eor, eor, EmitControl)
+	b.On(nl, eof, eor, recDelim)
+	b.On(nl, fld, eor, recDelim)
+	b.On(nl, str, str, EmitData) // multi-line quoted value
+	b.On(nl, qesc, str, EmitData)
+	b.On(nl, dir, eor, EmitControl)
+
+	// Field delimiter. Leading spaces at record start are skipped, so
+	// all-space lines vanish like blank ones.
+	b.On(sp, eor, eor, EmitControl)
+	b.On(sp, eof, eof, fldDelim)
+	b.On(sp, fld, eof, fldDelim)
+	b.On(sp, str, str, EmitData)
+	b.On(sp, qesc, str, EmitData)
+	b.On(sp, dir, dir, EmitControl)
+
+	// Quote: encloses a field only when opened at field start; mid-field
+	// it is ordinary data (lenient).
+	b.On(qt, eor, str, EmitControl)
+	b.On(qt, eof, str, EmitControl)
+	b.On(qt, fld, fld, EmitData)
+	b.On(qt, str, fld, EmitControl) // closing quote
+	b.On(qt, qesc, str, EmitData)   // \" unfolds to a literal quote
+	b.On(qt, dir, dir, EmitControl)
+
+	// Backslash: escape introducer inside quoted fields, data outside.
+	b.On(bs, eor, fld, EmitData)
+	b.On(bs, eof, fld, EmitData)
+	b.On(bs, fld, fld, EmitData)
+	b.On(bs, str, qesc, EmitControl) // introducer dropped from the value
+	b.On(bs, qesc, str, EmitData)    // \\ unfolds to a literal backslash
+	b.On(bs, dir, dir, EmitControl)
+
+	// '#': directive only at record start, data anywhere else.
+	b.On(hs, eor, dir, EmitControl)
+	b.On(hs, eof, fld, EmitData)
+	b.On(hs, fld, fld, EmitData)
+	b.On(hs, str, str, EmitData)
+	b.On(hs, qesc, str, EmitData)
+	b.On(hs, dir, dir, EmitControl)
+
+	// Carriage return: control outside quoted fields (CRLF tolerance),
+	// data inside them.
+	b.On(cr, eor, eor, EmitControl)
+	b.On(cr, eof, eof, EmitControl)
+	b.On(cr, fld, fld, EmitControl)
+	b.On(cr, str, str, EmitData)
+	b.On(cr, qesc, str, EmitData)
+	b.On(cr, dir, dir, EmitControl)
+
+	// Catch-all: ordinary field bytes.
+	b.On(star, eor, fld, EmitData)
+	b.On(star, eof, fld, EmitData)
+	b.On(star, fld, fld, EmitData)
+	b.On(star, str, str, EmitData)
+	b.On(star, qesc, str, EmitData)
+	b.On(star, dir, dir, EmitControl)
+
+	return b.MustBuild(eor)
+}

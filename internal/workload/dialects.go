@@ -1,0 +1,157 @@
+package workload
+
+// Workloads for the non-CSV grammar families (the dialect layer): a
+// JSON-Lines server-event stream and a W3C extended-log-format access
+// log. Like Yelp and Taxi they are synthetic but carry the structural
+// properties the parser's behaviour depends on — JSONL's quoted strings
+// with raw escapes and opaque nested containers, the weblog's directive
+// lines, quoted user-agents with unfolding escapes, and CRLF tolerance.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/columnar"
+)
+
+// jsonWords is the vocabulary for message fields; none contain the
+// characters that would change JSONL structure at depth 1.
+var jsonWords = []string{
+	"request", "served", "cache", "miss", "hit", "retry", "timeout",
+	"upstream", "queued", "flushed", "rotated", "degraded", "ok",
+}
+
+// JSONLines returns a JSON-Lines workload: one object per record with a
+// fixed key set, so top-level keys and values map to the alternating
+// key/value columns of the jsonl grammar. Values exercise the grammar's
+// interesting paths: quoted strings carrying raw \" and \\ escapes,
+// bare numeric tokens, and a nested array kept as opaque field bytes.
+func JSONLines() Spec {
+	schema := columnar.NewSchema(
+		columnar.Field{Name: "ts_key", Type: columnar.String},
+		columnar.Field{Name: "ts", Type: columnar.TimestampMicros},
+		columnar.Field{Name: "ip_key", Type: columnar.String},
+		columnar.Field{Name: "ip", Type: columnar.String},
+		columnar.Field{Name: "status_key", Type: columnar.String},
+		columnar.Field{Name: "status", Type: columnar.Int64},
+		columnar.Field{Name: "bytes_key", Type: columnar.String},
+		columnar.Field{Name: "bytes", Type: columnar.Int64},
+		columnar.Field{Name: "tags_key", Type: columnar.String},
+		columnar.Field{Name: "tags", Type: columnar.String},
+		columnar.Field{Name: "msg_key", Type: columnar.String},
+		columnar.Field{Name: "msg", Type: columnar.String},
+	)
+	statuses := []int{200, 200, 200, 204, 301, 304, 400, 404, 500}
+	return Spec{
+		Name:      "jsonl",
+		Schema:    schema,
+		AvgRecord: 150,
+		record: func(rng *rand.Rand, dst []byte) []byte {
+			dst = append(dst, `{"ts":"`...)
+			dst = appendTimestamp(rng, dst)
+			dst = fmt.Appendf(dst, `","ip":"10.%d.%d.%d"`,
+				rng.Intn(256), rng.Intn(256), rng.Intn(256))
+			dst = fmt.Appendf(dst, `,"status":%d`, statuses[rng.Intn(len(statuses))])
+			dst = fmt.Appendf(dst, `,"bytes":%d`, rng.Intn(1<<20))
+			// Nested array: opaque field bytes — the commas inside are
+			// below depth 1 and must not delimit columns.
+			dst = append(dst, `,"tags":[`...)
+			for i, n := 0, 1+rng.Intn(3); i < n; i++ {
+				if i > 0 {
+					dst = append(dst, ',')
+				}
+				dst = fmt.Appendf(dst, `"t%d"`, rng.Intn(10))
+			}
+			dst = append(dst, `],"msg":"`...)
+			for i, n := 0, 2+rng.Intn(6); i < n; i++ {
+				if i > 0 {
+					dst = append(dst, ' ')
+				}
+				switch rng.Intn(12) {
+				case 0:
+					dst = append(dst, `\"quoted\"`...) // raw escape bytes
+				case 1:
+					dst = append(dst, `C:\\tmp`...)
+				default:
+					dst = append(dst, jsonWords[rng.Intn(len(jsonWords))]...)
+				}
+			}
+			dst = append(dst, '"', '}', '\n')
+			return dst
+		},
+	}
+}
+
+// weblogAgents seeds the quoted user-agent field; backslash escapes
+// unfold during parsing (the introducer is dropped), which is the
+// field the weblog grammar's STR/ESC states exist for.
+var weblogAgents = []string{
+	`Mozilla/5.0 (X11; Linux x86_64) AppleWebKit/537.36`,
+	`Mozilla/5.0 (compatible; bingbot/2.0; +http://www.bing.com/bingbot.htm)`,
+	`curl/8.5.0`,
+	`Mozilla/5.0 \"compat\" (Windows NT 10.0)`, // escaped inner quotes
+	`probe\\scanner v1.2`,                      // escaped backslash
+}
+
+var weblogPaths = []string{
+	"/", "/index.html", "/api/v1/items", "/static/app.js",
+	"/images/logo.png", "/search", "/health", "/api/v1/users/42",
+}
+
+// Weblog returns a W3C extended-log-format workload: '#' directive
+// lines at the head of the output (and occasionally mid-stream, as
+// rotating servers emit them), space-delimited fields, "-" placeholders
+// for absent values, a quoted user-agent with backslash escapes, and a
+// mix of LF and CRLF record endings.
+func Weblog() Spec {
+	schema := columnar.NewSchema(
+		columnar.Field{Name: "c-ip", Type: columnar.String},
+		columnar.Field{Name: "date", Type: columnar.Date32},
+		columnar.Field{Name: "time", Type: columnar.String},
+		columnar.Field{Name: "cs-method", Type: columnar.String},
+		columnar.Field{Name: "cs-uri-stem", Type: columnar.String},
+		columnar.Field{Name: "sc-status", Type: columnar.Int64},
+		columnar.Field{Name: "sc-bytes", Type: columnar.Int64},
+		columnar.Field{Name: "time-taken", Type: columnar.Float64},
+		columnar.Field{Name: "cs(User-Agent)", Type: columnar.String},
+	)
+	methods := []string{"GET", "GET", "GET", "POST", "HEAD", "PUT"}
+	return Spec{
+		Name:      "weblog",
+		Schema:    schema,
+		AvgRecord: 120,
+		record: func(rng *rand.Rand, dst []byte) []byte {
+			if len(dst) == 0 {
+				dst = append(dst, "#Version: 1.0\n"...)
+				dst = append(dst, "#Fields: c-ip date time cs-method cs-uri-stem sc-status sc-bytes time-taken cs(User-Agent)\n"...)
+			} else if rng.Intn(64) == 0 {
+				dst = append(dst, "#Remark: log rotated\n"...)
+			}
+			dst = fmt.Appendf(dst, "192.168.%d.%d ", rng.Intn(256), rng.Intn(256))
+			dst = fmt.Appendf(dst, "%04d-%02d-%02d ", 2019+rng.Intn(3), 1+rng.Intn(12), 1+rng.Intn(28))
+			dst = fmt.Appendf(dst, "%02d:%02d:%02d ", rng.Intn(24), rng.Intn(60), rng.Intn(60))
+			dst = append(dst, methods[rng.Intn(len(methods))]...)
+			dst = append(dst, ' ')
+			dst = append(dst, weblogPaths[rng.Intn(len(weblogPaths))]...)
+			dst = fmt.Appendf(dst, " %d ", 100*(2+rng.Intn(4))+rng.Intn(20))
+			if rng.Intn(10) == 0 {
+				dst = append(dst, "- "...) // absent byte count
+			} else {
+				dst = fmt.Appendf(dst, "%d ", rng.Intn(1<<22))
+			}
+			dst = fmt.Appendf(dst, "%d.%03d ", rng.Intn(5), rng.Intn(1000))
+			if rng.Intn(12) == 0 {
+				dst = append(dst, '-')
+			} else {
+				dst = append(dst, '"')
+				dst = append(dst, weblogAgents[rng.Intn(len(weblogAgents))]...)
+				dst = append(dst, '"')
+			}
+			if rng.Intn(8) == 0 {
+				dst = append(dst, '\r')
+			}
+			dst = append(dst, '\n')
+			return dst
+		},
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/columnar"
+	"repro/internal/dfa"
 )
 
 func TestYelpStructuralStatistics(t *testing.T) {
@@ -74,8 +75,72 @@ func countRecords(input []byte) int {
 	return n
 }
 
+func TestJSONLinesStructuralStatistics(t *testing.T) {
+	spec := JSONLines()
+	input := spec.Generate(1<<18, 1)
+	m, err := dfa.NewJSONL(dfa.JSONLOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(input); err != nil {
+		t.Fatalf("generated JSONL invalid under the grammar: %v", err)
+	}
+	if spec.Schema.NumColumns() != 12 {
+		t.Errorf("columns = %d, want 12 (6 key/value pairs)", spec.Schema.NumColumns())
+	}
+	// The structural hazards must actually occur: raw escape bytes in
+	// quoted strings and nested containers with depth-2 commas.
+	if !bytes.Contains(input, []byte(`\"`)) {
+		t.Error("no raw escape sequences in string values")
+	}
+	if !bytes.Contains(input, []byte(`","`)) || !bytes.Contains(input, []byte(`],"`)) {
+		t.Error("no nested array values")
+	}
+	records := bytes.Count(input, []byte{'\n'})
+	avg := len(input) / records
+	if avg < 100 || avg > 220 {
+		t.Errorf("avg record size = %d, want ~150", avg)
+	}
+}
+
+func TestWeblogStructuralStatistics(t *testing.T) {
+	spec := Weblog()
+	input := spec.Generate(1<<18, 1)
+	if err := dfa.Weblog().Validate(input); err != nil {
+		t.Fatalf("generated weblog invalid under the grammar: %v", err)
+	}
+	if spec.Schema.NumColumns() != 9 {
+		t.Errorf("columns = %d, want 9", spec.Schema.NumColumns())
+	}
+	if !bytes.HasPrefix(input, []byte("#Version: 1.0\n#Fields: ")) {
+		t.Error("output must open with the #Version/#Fields directives")
+	}
+	if !bytes.Contains(input, []byte(`\"`)) {
+		t.Error("no escaped quotes in user-agent fields")
+	}
+	if !bytes.Contains(input, []byte("\r\n")) {
+		t.Error("no CRLF record endings")
+	}
+	// Directive lines carry no record footprint; they must not count
+	// toward the record average.
+	lines := bytes.Count(input, []byte{'\n'})
+	directives := 0
+	for _, ln := range bytes.Split(input, []byte{'\n'}) {
+		if len(ln) > 0 && ln[0] == '#' {
+			directives++
+		}
+	}
+	if directives < 2 {
+		t.Errorf("directive lines = %d, want the header pair at least", directives)
+	}
+	avg := len(input) / (lines - directives)
+	if avg < 80 || avg > 170 {
+		t.Errorf("avg record size = %d, want ~120", avg)
+	}
+}
+
 func TestGenerateDeterministic(t *testing.T) {
-	for _, spec := range []Spec{Yelp(), Taxi()} {
+	for _, spec := range []Spec{Yelp(), Taxi(), JSONLines(), Weblog()} {
 		a := spec.Generate(1<<16, 7)
 		b := spec.Generate(1<<16, 7)
 		if !bytes.Equal(a, b) {
@@ -146,7 +211,7 @@ func TestGenerateSizeProperty(t *testing.T) {
 	// record delimiter, and overshoots by at most a few records.
 	f := func(seed int64, kb uint8) bool {
 		size := (int(kb%32) + 1) << 10
-		for _, spec := range []Spec{Yelp(), Taxi()} {
+		for _, spec := range []Spec{Yelp(), Taxi(), JSONLines(), Weblog()} {
 			out := spec.Generate(size, seed)
 			if len(out) < size || out[len(out)-1] != '\n' {
 				return false

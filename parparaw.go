@@ -79,7 +79,13 @@ type Options struct {
 	// Schema fixes the output column names and types. Nil infers types
 	// from the data and names columns col0..colN (or from the header).
 	Schema *Schema
-	// HasHeader consumes the first record as column names.
+	// HasHeader derives column names from the input. Delimiter formats
+	// (CSV, TSV/PSV, FormatBuilder grammars) consume the first record as
+	// the names. Self-describing formats derive names without consuming
+	// anything: JSONL names columns from the first record's keys (the
+	// key column "<key>_key", the value column "<key>"; the record still
+	// parses as data), and the weblog format reads the "#Fields:"
+	// directive (directive lines never appear in the output anyway).
 	HasHeader bool
 	// Mode selects the tagging representation (§4.1).
 	Mode TaggingMode
