@@ -54,6 +54,14 @@ type Result struct {
 	// symbol bytes the partition scatter never moved.
 	RowsPruned   float64 `json:"rows_pruned,omitempty"`
 	BytesSkipped float64 `json:"bytes_skipped,omitempty"`
+	// P50Ns, P99Ns, and Clients annotate the serving load harness
+	// (BenchmarkServeConcurrent): client-observed request latency
+	// percentiles and the concurrent client count they were measured
+	// under — MB/s alone cannot distinguish a fast daemon from a
+	// deeply queued one.
+	P50Ns   float64 `json:"p50_ns,omitempty"`
+	P99Ns   float64 `json:"p99_ns,omitempty"`
+	Clients float64 `json:"clients,omitempty"`
 }
 
 func main() {
@@ -142,6 +150,12 @@ func parseBench(r io.Reader) (map[string]Result, error) {
 				res.RowsPruned = v
 			case "bytes-skipped":
 				res.BytesSkipped = v
+			case "p50-ns":
+				res.P50Ns = v
+			case "p99-ns":
+				res.P99Ns = v
+			case "clients":
+				res.Clients = v
 			}
 		}
 		results[name] = res

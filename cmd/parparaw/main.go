@@ -56,7 +56,6 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
-	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -199,14 +198,14 @@ func run(ctx context.Context, formatName string, header bool, delim, comment str
 		InFlight:  inFlight,
 	}
 	if selectSpec != "" {
-		sel, err := parseSelect(selectSpec)
+		sel, err := parparaw.ParseSelectSpec(selectSpec)
 		if err != nil {
 			return err
 		}
 		opts.Scan.Select = sel
 	}
 	if whereSpec != "" {
-		where, err := parseWhere(whereSpec)
+		where, err := parparaw.ParseWhereSpec(whereSpec)
 		if err != nil {
 			return err
 		}
@@ -217,7 +216,7 @@ func run(ctx context.Context, formatName string, header bool, delim, comment str
 	var stats string
 	begin := time.Now()
 	if streaming {
-		partBytes, err := parseSize(partition)
+		partBytes, err := parparaw.ParseSizeSpec(partition)
 		if err != nil {
 			return err
 		}
@@ -324,120 +323,6 @@ func displayName(path string) string {
 	return path
 }
 
-// parseSelect parses a -select spec: comma-separated column indices.
-func parseSelect(s string) ([]int, error) {
-	var out []int
-	for _, part := range strings.Split(s, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil {
-			return nil, fmt.Errorf("invalid -select column %q", part)
-		}
-		out = append(out, n)
-	}
-	return out, nil
-}
-
-// parseWhere parses a -where spec: semicolon-separated predicates in the
-// grammar of the package doc.
-func parseWhere(s string) ([]parparaw.Predicate, error) {
-	var out []parparaw.Predicate
-	for _, part := range strings.Split(s, ";") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		p, err := parsePredicate(part)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, p)
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("empty -where spec")
-	}
-	return out, nil
-}
-
-func parsePredicate(s string) (parparaw.Predicate, error) {
-	bad := func() (parparaw.Predicate, error) {
-		return parparaw.Predicate{}, fmt.Errorf("invalid -where predicate %q", s)
-	}
-	// Find where the column index ends: the first non-digit byte.
-	i := 0
-	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
-		i++
-	}
-	if i == 0 || i == len(s) {
-		return bad()
-	}
-	col, err := strconv.Atoi(s[:i])
-	if err != nil {
-		return bad()
-	}
-	rest := s[i:]
-	switch {
-	case strings.HasPrefix(rest, "!="):
-		return parparaw.Ne(col, rest[2:]), nil
-	case strings.HasPrefix(rest, "^="):
-		return parparaw.Prefix(col, rest[2:]), nil
-	case strings.HasPrefix(rest, "="):
-		return parparaw.Eq(col, rest[1:]), nil
-	case rest == ":null":
-		return parparaw.IsNull(col), nil
-	case rest == ":notnull":
-		return parparaw.NotNull(col), nil
-	case strings.HasPrefix(rest, ":int:"):
-		lo, hi, ok := splitRange(rest[len(":int:"):])
-		if !ok {
-			return bad()
-		}
-		l, err1 := strconv.ParseInt(lo, 10, 64)
-		h, err2 := strconv.ParseInt(hi, 10, 64)
-		if err1 != nil || err2 != nil {
-			return bad()
-		}
-		return parparaw.IntRange(col, l, h), nil
-	case strings.HasPrefix(rest, ":float:"):
-		lo, hi, ok := splitRange(rest[len(":float:"):])
-		if !ok {
-			return bad()
-		}
-		l, err1 := strconv.ParseFloat(lo, 64)
-		h, err2 := strconv.ParseFloat(hi, 64)
-		if err1 != nil || err2 != nil {
-			return bad()
-		}
-		return parparaw.FloatRange(col, l, h), nil
-	}
-	return bad()
-}
-
-// splitRange splits "lo:hi" at the last ':' so negative bounds keep
-// their leading '-'.
-func splitRange(s string) (lo, hi string, ok bool) {
-	j := strings.LastIndexByte(s, ':')
-	if j <= 0 || j == len(s)-1 {
-		return "", "", false
-	}
-	return s[:j], s[j+1:], true
-}
-
-func parseSize(s string) (int, error) {
-	u := strings.ToUpper(strings.TrimSpace(s))
-	mult := 1
-	switch {
-	case strings.HasSuffix(u, "GB"):
-		mult, u = 1<<30, strings.TrimSuffix(u, "GB")
-	case strings.HasSuffix(u, "MB"):
-		mult, u = 1<<20, strings.TrimSuffix(u, "MB")
-	case strings.HasSuffix(u, "KB"):
-		mult, u = 1<<10, strings.TrimSuffix(u, "KB")
-	case strings.HasSuffix(u, "B"):
-		u = strings.TrimSuffix(u, "B")
-	}
-	n, err := strconv.Atoi(strings.TrimSpace(u))
-	if err != nil || n <= 0 {
-		return 0, fmt.Errorf("invalid size %q", s)
-	}
-	return n * mult, nil
-}
+// The -select, -where, and size-spec grammars are shared with the
+// ingestion daemon: see parparaw.ParseSelectSpec, ParseWhereSpec, and
+// ParseSizeSpec.

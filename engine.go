@@ -37,7 +37,7 @@ import (
 // the device, not one call.
 type Engine struct {
 	plan   *core.Plan
-	arenas sync.Pool // of *device.Arena
+	arenas arenaPool
 	// boundaryMistrust counts streaming runs that failed on a boundary
 	// pre-scan / parse disagreement — a pipeline invariant violation
 	// that, within a run, cannot be recovered (the wrong carry is
@@ -65,20 +65,106 @@ func NewEngine(opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{plan: plan}
-	e.arenas.New = func() any { return device.NewArena() }
-	return e, nil
+	return &Engine{plan: plan}, nil
 }
+
+// newEngineSharedPlan returns a fresh Engine over an already-compiled
+// plan: same parsing rules, but a private arena pool (and private
+// boundary-mistrust state). It is how the serving layer gives each
+// tenant its own recycled device memory while still paying plan
+// compilation once per configuration.
+func newEngineSharedPlan(src *Engine) *Engine { return &Engine{plan: src.plan} }
+
+// Close drains the engine's arena pool: idle recycled arenas are
+// dropped immediately, and arenas checked out by in-flight runs are
+// dropped when those runs release them, so the engine's reserved device
+// memory falls to zero as soon as its last run finishes. The engine
+// remains usable — later runs simply allocate fresh arenas and drop
+// them on release — which is exactly the semantics an LRU eviction
+// wants: no run in flight is ever yanked, but an evicted configuration
+// stops holding memory. Close is idempotent and safe to call
+// concurrently with runs.
+func (e *Engine) Close() { e.arenas.close() }
 
 // checkout takes an arena from the pool for one run. release resets it
 // (returning every device buffer the run drew to the arena's free
 // lists) and puts it back, so the next run on this arena is served from
 // recycled memory.
-func (e *Engine) checkout() *device.Arena { return e.arenas.Get().(*device.Arena) }
+func (e *Engine) checkout() *device.Arena { return e.arenas.checkout() }
 
-func (e *Engine) release(a *device.Arena) {
+func (e *Engine) release(a *device.Arena) { e.arenas.release(a) }
+
+// arenasInUse reports the arenas currently checked out by running
+// parses; reservedBytes sums the device memory held by idle recycled
+// arenas. Together they are the engine's memory ledger: after Close
+// and the completion of every in-flight run, both are zero.
+func (e *Engine) arenasInUse() int     { return e.arenas.inUseCount() }
+func (e *Engine) reservedBytes() int64 { return e.arenas.reserved() }
+func (e *Engine) idleArenaCount() int  { return e.arenas.idleCount() }
+
+// arenaPool is the engine's recycled-arena free list. It replaces a
+// sync.Pool so the serving layer can account for it: how many arenas a
+// run has checked out, how much device memory the idle list holds, and
+// — on Close — a deterministic drain instead of waiting for a GC cycle
+// to collect pooled arenas.
+type arenaPool struct {
+	mu     sync.Mutex
+	idle   []*device.Arena
+	inUse  int
+	closed bool
+}
+
+func (p *arenaPool) checkout() *device.Arena {
+	p.mu.Lock()
+	p.inUse++
+	if n := len(p.idle); n > 0 {
+		a := p.idle[n-1]
+		p.idle[n-1] = nil
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		return a
+	}
+	p.mu.Unlock()
+	return device.NewArena()
+}
+
+func (p *arenaPool) release(a *device.Arena) {
 	a.Reset()
-	e.arenas.Put(a)
+	p.mu.Lock()
+	p.inUse--
+	if !p.closed {
+		p.idle = append(p.idle, a)
+	}
+	p.mu.Unlock()
+}
+
+func (p *arenaPool) close() {
+	p.mu.Lock()
+	p.closed = true
+	p.idle = nil
+	p.mu.Unlock()
+}
+
+func (p *arenaPool) inUseCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.inUse
+}
+
+func (p *arenaPool) idleCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.idle)
+}
+
+func (p *arenaPool) reserved() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var total int64
+	for _, a := range p.idle {
+		total += a.ReservedBytes()
+	}
+	return total
 }
 
 // Parse parses one input with the engine's compiled plan. Results are

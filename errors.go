@@ -2,6 +2,7 @@ package parparaw
 
 import (
 	"errors"
+	"net/http"
 
 	"repro/parparawerr"
 )
@@ -52,3 +53,60 @@ var (
 	// arenas recycled).
 	ErrInternal = parparawerr.ErrInternal
 )
+
+// StatusClientClosedRequest is the non-standard HTTP status the
+// ingestion daemon reports for runs that ended because the client went
+// away (nginx's 499 convention): no standard code distinguishes "the
+// caller canceled" from a client or server fault, and a load balancer
+// alerting on 5xx must not page for it.
+const StatusClientClosedRequest = 499
+
+// HTTPStatus maps an error from the parse/streaming API onto the HTTP
+// status the ingestion daemon answers with — the serving-layer face of
+// the error taxonomy. The mapping follows fault attribution: the
+// client's input (ErrInput: its upload failed or lied about its size;
+// ErrMalformed: the bytes violate the format under Validate;
+// ErrUnstreamable) is 400, resource exhaustion (ErrBudget) is 429 so
+// well-behaved clients back off and retry, cancellation is the
+// 499-style StatusClientClosedRequest, and everything else — contained
+// panics, violated pipeline invariants, unclassified errors — is a 500
+// that should page. nil maps to 200.
+func HTTPStatus(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, ErrBudget):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrCanceled):
+		return StatusClientClosedRequest
+	case errors.Is(err, ErrInput), errors.Is(err, ErrMalformed), errors.Is(err, ErrUnstreamable):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// ErrorKind names the taxonomy class of err ("input", "malformed",
+// "budget", "canceled", "internal", "unstreamable", or "error" for
+// unclassified errors; "" for nil) — the stable string the daemon's
+// JSON error bodies and metrics label errors with.
+func ErrorKind(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrBudget):
+		return "budget"
+	case errors.Is(err, ErrCanceled):
+		return "canceled"
+	case errors.Is(err, ErrMalformed):
+		return "malformed"
+	case errors.Is(err, ErrInput):
+		return "input"
+	case errors.Is(err, ErrUnstreamable):
+		return "unstreamable"
+	case errors.Is(err, ErrInternal):
+		return "internal"
+	default:
+		return "error"
+	}
+}

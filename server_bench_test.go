@@ -1,0 +1,130 @@
+package parparaw
+
+// Load harness for the ingestion daemon: N concurrent clients posting a
+// mix of dialects through a real HTTP stack, reporting aggregate MB/s
+// (via SetBytes) and client-observed p50/p99 request latency — the
+// serving numbers BENCH_9.json records.
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// benchRequests are the mixed workload: every client cycles through
+// them, so the cache serves several configurations concurrently.
+func benchRequests() []struct {
+	query string
+	body  string
+} {
+	csvRow := "New York,JFK,100\nBoston,BOS,50\nChicago,ORD,75\n"
+	jsonlRow := `{"city":"NYC","code":"JFK","pax":"100"}` + "\n"
+	tsvRow := "1\talpha\t10\n2\tbeta\t20\n"
+	return []struct {
+		query string
+		body  string
+	}{
+		{"format=csv&header=1", "city,code,pax\n" + strings.Repeat(csvRow, 400)},
+		{"format=csv&header=1&select=0,2&where=2:int:0:80", "city,code,pax\n" + strings.Repeat(csvRow, 400)},
+		{"format=jsonl", strings.Repeat(jsonlRow, 1000)},
+		{"format=tsv", strings.Repeat(tsvRow, 600)},
+	}
+}
+
+// BenchmarkServeConcurrent: GOMAXPROCS clients hammering one daemon
+// with the mixed workload. SetBytes carries the mean request body, so
+// ns/op and MB/s describe aggregate ingest throughput; p50-ns/p99-ns
+// are client-observed per-request latencies and clients the
+// concurrency they were observed under.
+func BenchmarkServeConcurrent(b *testing.B) {
+	reqs := benchRequests()
+	var totalBytes int
+	for _, r := range reqs {
+		totalBytes += len(r.body)
+	}
+	b.SetBytes(int64(totalBytes / len(reqs)))
+
+	srv := NewServer(ServerConfig{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	// At least 4 clients even on small hosts: the harness measures the
+	// daemon under concurrency (shared cache, admission ledger, tenant
+	// maps), not just raw parse speed.
+	clients := runtime.GOMAXPROCS(0)
+	if clients < 4 {
+		clients = 4
+	}
+
+	jobs := make(chan int)
+	latencies := make([][]int64, clients)
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := &http.Client{}
+			for i := range jobs {
+				r := reqs[i%len(reqs)]
+				start := time.Now()
+				resp, err := client.Post(ts.URL+"/ingest?"+r.query, "text/plain", strings.NewReader(r.body))
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					b.Errorf("status %d", resp.StatusCode)
+					return
+				}
+				latencies[c] = append(latencies[c], time.Since(start).Nanoseconds())
+			}
+		}(c)
+	}
+	for i := 0; i < b.N; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	b.StopTimer()
+
+	var all []int64
+	for _, ls := range latencies {
+		all = append(all, ls...)
+	}
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		b.ReportMetric(float64(all[len(all)/2]), "p50-ns")
+		b.ReportMetric(float64(all[len(all)*99/100]), "p99-ns")
+	}
+	b.ReportMetric(float64(clients), "clients")
+}
+
+// BenchmarkPlanCache: fingerprint+hit cost of the cache fast path — the
+// per-request overhead the daemon pays instead of a plan compilation.
+func BenchmarkPlanCache(b *testing.B) {
+	cache := NewEngineCache(0)
+	opts := Options{Format: DefaultFormat(), HasHeader: true, Scan: ScanOptions{Where: []Predicate{Eq(0, "x")}}}
+	if _, err := cache.Get(opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cache.Get(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	cache.Purge()
+	if hits := cache.Stats().Hits; hits < int64(b.N) {
+		b.Fatalf("hits = %d, want ≥ %d", hits, b.N)
+	}
+}
